@@ -1,0 +1,144 @@
+//! Intensity normalization.
+//!
+//! Raw detectors rarely use their nominal dynamic range: a "16-bit" FIB-SEM
+//! frame may occupy a few thousand counts. These operators re-map intensity
+//! so downstream models see well-conditioned inputs. All return values in
+//! `[0, 1]` except [`zscore`], which standardizes and then squashes.
+
+use zenesis_image::histogram::Histogram;
+use zenesis_image::Image;
+
+/// Linear min-max stretch to `[0, 1]`. A constant image maps to 0.
+pub fn min_max(img: &Image<f32>) -> Image<f32> {
+    let (lo, hi) = img.min_max();
+    let range = hi - lo;
+    if range <= 0.0 {
+        return Image::filled(img.width(), img.height(), 0.0);
+    }
+    img.map(|v| (v - lo) / range)
+}
+
+/// Robust percentile stretch: map `[p_lo, p_hi]` percentiles to `[0, 1]`,
+/// clipping outliers. The standard defence against hot pixels and charging
+/// artifacts; `(0.01, 0.99)` is the usual choice.
+pub fn percentile_stretch(img: &Image<f32>, p_lo: f64, p_hi: f64) -> Image<f32> {
+    assert!(p_lo < p_hi, "percentile bounds must be ordered");
+    let hist = Histogram::of_image(img, 2048);
+    let lo = hist.percentile(p_lo);
+    let hi = hist.percentile(p_hi);
+    let range = hi - lo;
+    if range <= 0.0 {
+        return min_max(img);
+    }
+    img.map(move |v| ((v - lo) / range).clamp(0.0, 1.0))
+}
+
+/// Z-score standardization squashed back into `[0, 1]` with a logistic, so
+/// the output is model-safe while the relative contrast is variance-scaled.
+pub fn zscore(img: &Image<f32>) -> Image<f32> {
+    let mean = img.mean_norm() as f32;
+    let std = (img.variance_norm() as f32).sqrt();
+    if std <= 1e-12 {
+        return Image::filled(img.width(), img.height(), 0.5);
+    }
+    img.map(move |v| {
+        let z = (v - mean) / std;
+        1.0 / (1.0 + (-z).exp())
+    })
+}
+
+/// Gamma correction (applied to values already in `[0, 1]`).
+pub fn gamma(img: &Image<f32>, g: f32) -> Image<f32> {
+    assert!(g > 0.0, "gamma must be positive");
+    img.map(move |v| v.clamp(0.0, 1.0).powf(g))
+}
+
+/// Invert intensity (`1 - v`). FIB secondary-electron vs backscatter
+/// detectors disagree about polarity; the lexicon assumes bright = dense.
+pub fn invert(img: &Image<f32>) -> Image<f32> {
+    img.map(|v| 1.0 - v.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn narrow_range_image() -> Image<f32> {
+        // Mimics raw 16-bit data squeezed into a sliver of range.
+        Image::from_fn(16, 16, |x, y| 0.1 + 0.02 * ((x + y) % 5) as f32)
+    }
+
+    #[test]
+    fn min_max_hits_full_range() {
+        let out = min_max(&narrow_range_image());
+        let (lo, hi) = out.min_max();
+        assert_eq!(lo, 0.0);
+        assert!((hi - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_max_constant_image_is_zero() {
+        let img = Image::<f32>::filled(4, 4, 0.7);
+        let out = min_max(&img);
+        assert_eq!(out.min_max(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn min_max_preserves_ordering() {
+        let img = narrow_range_image();
+        let out = min_max(&img);
+        for y in 0..16 {
+            for x in 1..16 {
+                let d_in = img.get(x, y) - img.get(x - 1, y);
+                let d_out = out.get(x, y) - out.get(x - 1, y);
+                assert_eq!(d_in > 0.0, d_out > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_clips_outliers() {
+        let mut img = narrow_range_image();
+        img.set(0, 0, 1.0); // hot pixel
+        let naive = min_max(&img);
+        let robust = percentile_stretch(&img, 0.01, 0.99);
+        // Naive stretch wastes range on the hot pixel; robust doesn't.
+        let naive_typical = naive.get(8, 8);
+        let robust_typical = robust.get(8, 8);
+        assert!(robust_typical > naive_typical);
+        assert_eq!(robust.get(0, 0), 1.0); // outlier clamped to 1
+    }
+
+    #[test]
+    #[should_panic]
+    fn percentile_bounds_validated() {
+        let _ = percentile_stretch(&narrow_range_image(), 0.9, 0.1);
+    }
+
+    #[test]
+    fn zscore_centers_at_half() {
+        let img = narrow_range_image();
+        let out = zscore(&img);
+        let m = out.mean_norm();
+        assert!((m - 0.5).abs() < 0.1);
+        let flat = Image::<f32>::filled(4, 4, 0.2);
+        assert_eq!(zscore(&flat).get(0, 0), 0.5);
+    }
+
+    #[test]
+    fn gamma_darkens_or_brightens() {
+        let img = Image::<f32>::filled(4, 4, 0.5);
+        assert!(gamma(&img, 2.0).get(0, 0) < 0.5);
+        assert!(gamma(&img, 0.5).get(0, 0) > 0.5);
+        assert!((gamma(&img, 1.0).get(0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invert_is_involution() {
+        let img = narrow_range_image();
+        let twice = invert(&invert(&img));
+        for (a, b) in twice.as_slice().iter().zip(img.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

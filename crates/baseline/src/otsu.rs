@@ -1,0 +1,272 @@
+//! Otsu's method: maximize between-class variance over the histogram.
+
+use zenesis_image::histogram::Histogram;
+use zenesis_image::{BitMask, Image};
+
+/// Otsu's optimal global threshold on the normalized intensity domain.
+///
+/// Returns the threshold value in `[0, 1]`; pixels strictly above it are
+/// foreground. Computed over a 1024-bin histogram by maximizing the
+/// between-class variance `w0 * w1 * (mu0 - mu1)^2`.
+pub fn otsu_threshold(img: &Image<f32>) -> f32 {
+    let bins = 1024;
+    let hist = Histogram::of_image(img, bins);
+    let total = hist.total() as f64;
+    if total == 0.0 {
+        return 0.5;
+    }
+    // Prefix sums of mass and intensity-weighted mass.
+    let mut cum_mass = 0.0f64;
+    let mut cum_mean = 0.0f64;
+    let global_mean: f64 = hist.mean() * 1.0;
+    let mut best_t = 0usize;
+    let mut best_var = -1.0f64;
+    for t in 0..bins - 1 {
+        cum_mass += hist.count(t) as f64 / total;
+        cum_mean += hist.bin_center(t) as f64 * hist.count(t) as f64 / total;
+        let w0 = cum_mass;
+        let w1 = 1.0 - w0;
+        if w0 <= 0.0 || w1 <= 0.0 {
+            continue;
+        }
+        let mu0 = cum_mean / w0;
+        let mu1 = (global_mean - cum_mean) / w1;
+        let var = w0 * w1 * (mu0 - mu1) * (mu0 - mu1);
+        if var > best_var {
+            best_var = var;
+            best_t = t;
+        }
+    }
+    if best_var < 0.0 {
+        // Degenerate (single-level) histogram.
+        return 0.5;
+    }
+    // Threshold at the upper edge of the winning bin.
+    (best_t as f32 + 1.0) / bins as f32
+}
+
+/// Segment by global Otsu: foreground = pixels above the Otsu threshold.
+///
+/// This is the paper's "Otsu thresholding" baseline exactly: no grounding,
+/// no spatial regularization — whatever is brighter than the split is the
+/// region of interest.
+pub fn segment_otsu(img: &Image<f32>) -> BitMask {
+    BitMask::from_threshold(img, otsu_threshold(img))
+}
+
+/// Two-threshold (three-class) Otsu: returns `(t_low, t_high)` maximizing
+/// three-class between-class variance on a coarse histogram. Used as an
+/// ablation baseline for multi-phase material images.
+pub fn multi_otsu2(img: &Image<f32>) -> (f32, f32) {
+    let bins = 128; // O(bins^2) search
+    let hist = Histogram::of_image(img, bins);
+    let total = hist.total() as f64;
+    if total == 0.0 {
+        return (1.0 / 3.0, 2.0 / 3.0);
+    }
+    // Prefix sums.
+    let mut mass = vec![0.0f64; bins + 1];
+    let mut mean = vec![0.0f64; bins + 1];
+    for b in 0..bins {
+        mass[b + 1] = mass[b] + hist.count(b) as f64 / total;
+        mean[b + 1] = mean[b] + hist.bin_center(b) as f64 * hist.count(b) as f64 / total;
+    }
+    let class_var = |lo: usize, hi: usize| -> f64 {
+        let w = mass[hi] - mass[lo];
+        if w <= 0.0 {
+            return 0.0;
+        }
+        let m = (mean[hi] - mean[lo]) / w;
+        w * m * m
+    };
+    let mut best = (bins / 3, 2 * bins / 3);
+    let mut best_v = -1.0;
+    for t1 in 1..bins - 1 {
+        for t2 in t1 + 1..bins {
+            let v = class_var(0, t1) + class_var(t1, t2) + class_var(t2, bins);
+            if v > best_v {
+                best_v = v;
+                best = (t1, t2);
+            }
+        }
+    }
+    (best.0 as f32 / bins as f32, best.1 as f32 / bins as f32)
+}
+
+/// Windowed adaptive Otsu: the image is tiled into `tiles x tiles`
+/// windows; each gets its own Otsu threshold, bilinearly interpolated per
+/// pixel. Windows with near-zero variance inherit the global threshold.
+pub fn adaptive_otsu(img: &Image<f32>, tiles: usize) -> BitMask {
+    assert!(tiles >= 1);
+    let (w, h) = img.dims();
+    let global = otsu_threshold(img);
+    let tile_w = w.div_ceil(tiles);
+    let tile_h = h.div_ceil(tiles);
+    let thresholds: Vec<f32> = zenesis_par::par_map_range(tiles * tiles, |t| {
+        let (tx, ty) = (t % tiles, t / tiles);
+        let x0 = tx * tile_w;
+        let y0 = ty * tile_h;
+        let x1 = (x0 + tile_w).min(w);
+        let y1 = (y0 + tile_h).min(h);
+        if x1 <= x0 || y1 <= y0 {
+            return global;
+        }
+        let crop = img
+            .crop(zenesis_image::BoxRegion::new(x0, y0, x1, y1))
+            .expect("tile in range");
+        if crop.variance_norm() < 1e-6 {
+            global
+        } else {
+            otsu_threshold(&crop)
+        }
+    });
+    BitMask::from_fn(w, h, |x, y| {
+        // Bilinear interpolation between tile-center thresholds.
+        let fx = (x as f64 + 0.5) / tile_w as f64 - 0.5;
+        let fy = (y as f64 + 0.5) / tile_h as f64 - 0.5;
+        let tx0 = fx.floor().clamp(0.0, (tiles - 1) as f64) as usize;
+        let ty0 = fy.floor().clamp(0.0, (tiles - 1) as f64) as usize;
+        let tx1 = (tx0 + 1).min(tiles - 1);
+        let ty1 = (ty0 + 1).min(tiles - 1);
+        let ax = (fx - tx0 as f64).clamp(0.0, 1.0) as f32;
+        let ay = (fy - ty0 as f64).clamp(0.0, 1.0) as f32;
+        let t00 = thresholds[ty0 * tiles + tx0];
+        let t10 = thresholds[ty0 * tiles + tx1];
+        let t01 = thresholds[ty1 * tiles + tx0];
+        let t11 = thresholds[ty1 * tiles + tx1];
+        let thr = (t00 * (1.0 - ax) + t10 * ax) * (1.0 - ay) + (t01 * (1.0 - ax) + t11 * ax) * ay;
+        img.get(x, y) > thr
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bimodal(lo: f32, hi: f32, frac_hi: f32) -> Image<f32> {
+        Image::from_fn(64, 64, |x, y| {
+            let idx = (y * 64 + x) as f32 / (64.0 * 64.0);
+            if idx < frac_hi {
+                hi
+            } else {
+                lo
+            }
+        })
+    }
+
+    #[test]
+    fn threshold_separates_bimodal() {
+        let img = bimodal(0.2, 0.8, 0.4);
+        let t = otsu_threshold(&img);
+        assert!(t > 0.2 && t < 0.8, "t = {t}");
+        let m = segment_otsu(&img);
+        // Foreground = the bright 40%.
+        let frac = m.coverage();
+        assert!((frac - 0.4).abs() < 0.02, "coverage {frac}");
+    }
+
+    #[test]
+    fn threshold_with_noise_still_separates() {
+        let img = Image::from_fn(64, 64, |x, y| {
+            let base = if (x / 8 + y / 8) % 2 == 0 { 0.25 } else { 0.75 };
+            base + 0.05 * (((x * 7919 + y * 104729) % 100) as f32 / 100.0 - 0.5)
+        });
+        let t = otsu_threshold(&img);
+        // Any split strictly between the two noisy modes is correct.
+        assert!(t > 0.25 && t < 0.75, "t = {t}");
+        // And the resulting mask matches the checkerboard exactly.
+        let m = segment_otsu(&img);
+        for y in 0..64 {
+            for x in 0..64 {
+                assert_eq!(m.get(x, y), (x / 8 + y / 8) % 2 != 0);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_image_degenerate_but_safe() {
+        let img = Image::<f32>::filled(16, 16, 0.5);
+        let t = otsu_threshold(&img);
+        assert!(t.is_finite());
+        let m = segment_otsu(&img);
+        // Either all or none; both are "valid" for a constant image.
+        assert!(m.count() == 0 || m.count() == 256);
+    }
+
+    #[test]
+    fn otsu_fails_on_unimodal_low_contrast() {
+        // The crystalline failure mode: tiny bright structure on a big
+        // noisy dark background — Otsu's split lands inside the noise and
+        // selects far more than the true structure.
+        let img = Image::from_fn(64, 64, |x, y| {
+            let needle = y == 32 && (10..54).contains(&x);
+            let noise = ((x * 2654435761 + y * 40503) % 97) as f32 / 97.0 * 0.12;
+            if needle {
+                0.35
+            } else {
+                0.02 + noise
+            }
+        });
+        let m = segment_otsu(&img);
+        let true_area = 44.0;
+        // Otsu picks up large noise regions: selected area far exceeds GT.
+        assert!(m.count() as f32 > 3.0 * true_area);
+    }
+
+    #[test]
+    fn multi_otsu_orders_thresholds() {
+        let img = Image::from_fn(60, 60, |x, _| {
+            if x < 20 {
+                0.1
+            } else if x < 40 {
+                0.5
+            } else {
+                0.9
+            }
+        });
+        let (t1, t2) = multi_otsu2(&img);
+        assert!(t1 < t2);
+        assert!(t1 > 0.1 && t1 < 0.5, "t1 = {t1}");
+        assert!(t2 > 0.5 && t2 < 0.9, "t2 = {t2}");
+    }
+
+    #[test]
+    fn adaptive_otsu_handles_illumination_gradient() {
+        // Checkerboard modulated by a strong left-right illumination ramp:
+        // global Otsu misclassifies one side, adaptive recovers both.
+        let truth_fn = |x: usize, y: usize| (x / 8 + y / 8).is_multiple_of(2);
+        let img = Image::from_fn(64, 64, |x, y| {
+            let fg = truth_fn(x, y);
+            let ramp = 0.5 * x as f32 / 63.0;
+            let v: f32 = if fg { 0.3 } else { 0.1 };
+            (v + ramp).min(1.0)
+        });
+        let global = segment_otsu(&img);
+        let adaptive = adaptive_otsu(&img, 8);
+        let count_err = |m: &BitMask| {
+            let mut err = 0;
+            for y in 0..64 {
+                for x in 0..64 {
+                    if m.get(x, y) != truth_fn(x, y) {
+                        err += 1;
+                    }
+                }
+            }
+            err
+        };
+        assert!(
+            count_err(&adaptive) < count_err(&global),
+            "adaptive {} vs global {}",
+            count_err(&adaptive),
+            count_err(&global)
+        );
+    }
+
+    #[test]
+    fn adaptive_single_tile_close_to_global() {
+        let img = bimodal(0.2, 0.8, 0.3);
+        let a = adaptive_otsu(&img, 1);
+        let g = segment_otsu(&img);
+        assert_eq!(a, g);
+    }
+}

@@ -1,0 +1,81 @@
+//! Bench: the compute kernels under the pipeline — adaptation stages,
+//! visual feature pyramid, transformer arithmetic (the Eq. 1 attention and
+//! the ViT/Swin encoders), and SAM decode primitives. These are the hot
+//! loops the ICPP audience cares about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zenesis_adapt::{AdaptPipeline, AdaptStage};
+use zenesis_data::{generate_slice, PhantomConfig, SampleKind};
+use zenesis_ground::FeatureGrid;
+use zenesis_image::Image;
+use zenesis_nn::{attention, SwinStage, VitEncoder};
+use zenesis_sam::{ImageEmbedding, PromptSet, Sam, SamConfig};
+use zenesis_tensor::Matrix;
+
+fn test_image() -> Image<f32> {
+    let g = generate_slice(&PhantomConfig::new(SampleKind::Amorphous, 7));
+    g.raw.to_f32()
+}
+
+fn bench_adapt(c: &mut Criterion) {
+    let img = test_image();
+    let mut group = c.benchmark_group("adapt_stages");
+    group.sample_size(20);
+    let stages: Vec<(&str, AdaptStage)> = vec![
+        ("percentile_stretch", AdaptStage::PercentileStretch { p_lo: 0.005, p_hi: 0.995 }),
+        ("clahe", AdaptStage::Clahe { tiles: 4, clip_limit: 2.2 }),
+        ("median", AdaptStage::Median { radius: 1 }),
+        ("bilateral", AdaptStage::Bilateral { sigma_s: 1.5, sigma_r: 0.15 }),
+        ("destripe", AdaptStage::Destripe { smooth_radius: 8 }),
+    ];
+    for (name, stage) in stages {
+        group.bench_function(name, |b| b.iter(|| stage.apply(&img)));
+    }
+    group.bench_function("recommended_pipeline", |b| {
+        let p = AdaptPipeline::recommended();
+        b.iter(|| p.run(&img))
+    });
+    group.finish();
+}
+
+fn bench_transformer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transformer");
+    group.sample_size(20);
+    // Eq. (1) at the pipeline's working sizes: 3 text tokens vs 256 patches.
+    let q = Matrix::seeded_uniform(3, 32, 1.0, 1);
+    let k = Matrix::seeded_uniform(256, 32, 1.0, 2);
+    let v = Matrix::seeded_uniform(256, 32, 1.0, 3);
+    group.bench_function("attention_3x256", |b| b.iter(|| attention(&q, &k, &v)));
+    // Larger self-attention (SAM-scale token counts).
+    let x = Matrix::seeded_uniform(256, 64, 1.0, 4);
+    group.bench_function("matmul_256x64", |b| b.iter(|| x.matmul_transposed(&x)));
+    let img = Image::<f32>::from_fn(128, 128, |x, y| ((x * 7 + y * 13) % 97) as f32 / 96.0);
+    let vit = VitEncoder::new(8, 64, 4, 2, 5);
+    group.bench_function("vit_encode_128", |b| b.iter(|| vit.forward(&img)));
+    let swin = SwinStage::new(4, 64, 4, 2, 6);
+    let tokens = Matrix::seeded_uniform(256, 64, 1.0, 7);
+    group.bench_function("swin_stage_16x16", |b| b.iter(|| swin.forward(&tokens, 16, 16)));
+    group.finish();
+}
+
+fn bench_ground_and_sam(c: &mut Criterion) {
+    let g = generate_slice(&PhantomConfig::new(SampleKind::Crystalline, 9));
+    let adapted = AdaptPipeline::recommended().run(&g.raw.to_f32());
+    let mut group = c.benchmark_group("model_primitives");
+    group.sample_size(20);
+    group.bench_function("feature_grid_128", |b| {
+        b.iter(|| FeatureGrid::compute(&adapted, 8))
+    });
+    let sam = Sam::new(SamConfig::default());
+    group.bench_function("sam_encode_128", |b| b.iter(|| sam.encode(&adapted)));
+    let emb = ImageEmbedding::encode(&adapted, 1.0);
+    let bbox = g.truth.bounding_box().unwrap();
+    group.bench_with_input(BenchmarkId::new("sam_decode_box", "truth_bbox"), &bbox, |b, &bb| {
+        b.iter(|| sam.segment(&emb, &PromptSet::from_box(bb)))
+    });
+    group.bench_function("sam_auto_mode", |b| b.iter(|| sam.segment_auto(&emb)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_adapt, bench_transformer, bench_ground_and_sam);
+criterion_main!(benches);

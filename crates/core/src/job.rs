@@ -1,0 +1,451 @@
+//! The no-code JSON job contract.
+//!
+//! The paper's platform is a web application: the browser submits a
+//! structured request, the backend runs it and returns structured results.
+//! [`JobSpec`] / [`JobResult`] are that contract. Inputs reference the
+//! built-in phantom generator (this reproduction's "instrument") so a job
+//! is fully self-contained and reproducible from its JSON alone.
+
+use serde::{Deserialize, Serialize};
+use zenesis_data::{benchmark_dataset, generate_volume, PhantomConfig, SampleKind};
+use zenesis_image::BoxRegion;
+use zenesis_metrics::dashboard;
+
+use crate::config::ZenesisConfig;
+use crate::method::Method;
+use crate::modes;
+use crate::pipeline::Zenesis;
+
+/// Input data specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "source", rename_all = "snake_case")]
+pub enum InputSpec {
+    /// One synthetic slice.
+    PhantomSlice {
+        kind: PhantomKind,
+        seed: u64,
+        #[serde(default = "default_side")]
+        side: usize,
+    },
+    /// A synthetic volume.
+    PhantomVolume {
+        kind: PhantomKind,
+        seed: u64,
+        depth: usize,
+        #[serde(default = "default_side")]
+        side: usize,
+        #[serde(default)]
+        outlier_slices: Vec<usize>,
+    },
+    /// The full 20-slice benchmark dataset.
+    Benchmark {
+        seed: u64,
+        #[serde(default = "default_side")]
+        side: usize,
+    },
+    /// A grayscale TIFF file on disk (8- or 16-bit, uncompressed; the
+    /// first page of a multi-page file).
+    TiffFile { path: String },
+    /// A binary PGM (P5) file on disk, 8- or 16-bit.
+    PgmFile { path: String },
+    /// A multi-page 16-bit grayscale TIFF on disk, read as a volume.
+    TiffVolumeFile { path: String },
+    /// An RGB PPM (P6) file on disk; converted to luma grayscale (the
+    /// paper's platform accepts RGB scientific images natively).
+    PpmFile { path: String },
+}
+
+impl InputSpec {
+    /// Load a file-backed input as a normalized image; phantom inputs
+    /// return `None` (they are generated in the mode handlers).
+    fn load_file(&self) -> Option<Result<zenesis_image::Image<f32>, String>> {
+        match self {
+            InputSpec::TiffFile { path } => Some(
+                zenesis_image::io::tiff::load_tiff(path)
+                    .map(|page| match page {
+                        zenesis_image::io::tiff::TiffPage::U8(img) => img.to_f32(),
+                        zenesis_image::io::tiff::TiffPage::U16(img) => img.to_f32(),
+                    })
+                    .map_err(|e| format!("cannot read tiff {path:?}: {e}")),
+            ),
+            InputSpec::PpmFile { path } => Some(
+                std::fs::File::open(path)
+                    .map_err(|e| format!("cannot open {path:?}: {e}"))
+                    .and_then(|mut f| {
+                        zenesis_image::io::pgm::read_ppm(&mut f)
+                            .map_err(|e| format!("cannot read ppm {path:?}: {e}"))
+                    })
+                    .map(|rgb| rgb.to_gray::<f32>()),
+            ),
+            InputSpec::PgmFile { path } => Some(
+                std::fs::File::open(path)
+                    .map_err(|e| format!("cannot open {path:?}: {e}"))
+                    .and_then(|mut f| {
+                        zenesis_image::io::pgm::read_pgm(&mut f)
+                            .map_err(|e| format!("cannot read pgm {path:?}: {e}"))
+                    })
+                    .map(|pgm| match pgm {
+                        zenesis_image::io::pgm::Pgm::U8(img) => img.to_f32(),
+                        zenesis_image::io::pgm::Pgm::U16(img) => img.to_f32(),
+                    }),
+            ),
+            _ => None,
+        }
+    }
+}
+
+fn default_side() -> usize {
+    128
+}
+
+/// Serializable mirror of [`SampleKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum PhantomKind {
+    Crystalline,
+    Amorphous,
+}
+
+impl From<PhantomKind> for SampleKind {
+    fn from(k: PhantomKind) -> Self {
+        match k {
+            PhantomKind::Crystalline => SampleKind::Crystalline,
+            PhantomKind::Amorphous => SampleKind::Amorphous,
+        }
+    }
+}
+
+/// A complete job request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "mode", rename_all = "snake_case")]
+pub enum JobSpec {
+    /// Mode A: segment a single slice with a text prompt.
+    Interactive {
+        input: InputSpec,
+        prompt: String,
+        #[serde(default)]
+        config: Option<ZenesisConfig>,
+    },
+    /// Mode B: batch-process a volume.
+    Batch {
+        input: InputSpec,
+        prompt: String,
+        #[serde(default)]
+        config: Option<ZenesisConfig>,
+    },
+    /// Mode C: evaluate methods over the benchmark.
+    Evaluate {
+        input: InputSpec,
+        #[serde(default)]
+        methods: Vec<Method>,
+        #[serde(default)]
+        config: Option<ZenesisConfig>,
+    },
+}
+
+/// A job's structured result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum JobResult {
+    Slice {
+        detections: Vec<BoxRegion>,
+        mask_pixels: usize,
+        coverage: f64,
+        total_ms: f64,
+    },
+    Volume {
+        depth: usize,
+        corrections: usize,
+        per_slice_pixels: Vec<usize>,
+    },
+    Evaluation {
+        /// Rendered dashboard (Fig. 8 as text).
+        dashboard: String,
+        /// Machine-readable CSV of per-sample rows.
+        csv: String,
+    },
+    Error {
+        message: String,
+    },
+}
+
+/// Execute a job.
+pub fn run_job(spec: &JobSpec) -> JobResult {
+    match spec {
+        JobSpec::Interactive {
+            input,
+            prompt,
+            config,
+        } => {
+            let z = Zenesis::new(config.clone().unwrap_or_default());
+            match input {
+                InputSpec::PhantomSlice { kind, seed, side } => {
+                    let g = zenesis_data::generate_slice(
+                        &PhantomConfig::new((*kind).into(), *seed).with_size(*side, *side),
+                    );
+                    let r = z.segment_slice(&g.raw, prompt);
+                    JobResult::Slice {
+                        detections: r.detections.iter().map(|d| d.bbox).collect(),
+                        mask_pixels: r.combined.count(),
+                        coverage: r.coverage(),
+                        total_ms: r.trace.total_ms,
+                    }
+                }
+                file @ (InputSpec::TiffFile { .. }
+                | InputSpec::PgmFile { .. }
+                | InputSpec::PpmFile { .. }) => {
+                    match file.load_file().expect("file-backed input") {
+                        Ok(img) => {
+                            let r = z.segment_slice(&img, prompt);
+                            JobResult::Slice {
+                                detections: r.detections.iter().map(|d| d.bbox).collect(),
+                                mask_pixels: r.combined.count(),
+                                coverage: r.coverage(),
+                                total_ms: r.trace.total_ms,
+                            }
+                        }
+                        Err(message) => JobResult::Error { message },
+                    }
+                }
+                _ => JobResult::Error {
+                    message: "interactive mode takes a single slice".into(),
+                },
+            }
+        }
+        JobSpec::Batch {
+            input,
+            prompt,
+            config,
+        } => {
+            let z = Zenesis::new(config.clone().unwrap_or_default());
+            match input {
+                InputSpec::PhantomVolume {
+                    kind,
+                    seed,
+                    depth,
+                    side,
+                    outlier_slices,
+                } => {
+                    let v = generate_volume((*kind).into(), *side, *depth, *seed, outlier_slices);
+                    let r = z.segment_volume(&v.volume, prompt);
+                    JobResult::Volume {
+                        depth: *depth,
+                        corrections: r.corrections(),
+                        per_slice_pixels: r.masks.iter().map(|m| m.count()).collect(),
+                    }
+                }
+                InputSpec::TiffVolumeFile { path } => {
+                    let data = match std::fs::read(path) {
+                        Ok(d) => d,
+                        Err(e) => {
+                            return JobResult::Error {
+                                message: format!("cannot open {path:?}: {e}"),
+                            }
+                        }
+                    };
+                    match zenesis_image::io::tiff::read_tiff_volume_u16(
+                        &data,
+                        zenesis_image::VoxelSize::default(),
+                    ) {
+                        Ok(vol) => {
+                            let r = z.segment_volume(&vol, prompt);
+                            JobResult::Volume {
+                                depth: vol.depth(),
+                                corrections: r.corrections(),
+                                per_slice_pixels: r.masks.iter().map(|m| m.count()).collect(),
+                            }
+                        }
+                        Err(e) => JobResult::Error {
+                            message: format!("cannot read tiff volume {path:?}: {e}"),
+                        },
+                    }
+                }
+                _ => JobResult::Error {
+                    message: "batch mode takes a volume".into(),
+                },
+            }
+        }
+        JobSpec::Evaluate {
+            input,
+            methods,
+            config,
+        } => {
+            let z = Zenesis::new(config.clone().unwrap_or_default());
+            match input {
+                InputSpec::Benchmark { seed, side } => {
+                    let ds = benchmark_dataset(*side, *seed);
+                    let ms = if methods.is_empty() {
+                        Method::all().to_vec()
+                    } else {
+                        methods.clone()
+                    };
+                    let eval = modes::evaluate(&z, &ds, &ms);
+                    JobResult::Evaluation {
+                        dashboard: dashboard::render_summary_table(&eval.summarize()),
+                        csv: dashboard::to_csv(&eval),
+                    }
+                }
+                _ => JobResult::Error {
+                    message: "evaluate mode takes the benchmark input".into(),
+                },
+            }
+        }
+    }
+}
+
+/// Execute a job given as a JSON string — the exact no-code entry point.
+pub fn run_job_json(json: &str) -> String {
+    let result = match serde_json::from_str::<JobSpec>(json) {
+        Ok(spec) => run_job(&spec),
+        Err(e) => JobResult::Error {
+            message: format!("invalid job spec: {e}"),
+        },
+    };
+    serde_json::to_string_pretty(&result).expect("results serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interactive_job_roundtrip() {
+        let json = r#"{
+            "mode": "interactive",
+            "input": {"source": "phantom_slice", "kind": "amorphous", "seed": 11},
+            "prompt": "bright catalyst particles"
+        }"#;
+        let out = run_job_json(json);
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["kind"], "slice");
+        assert!(v["mask_pixels"].as_u64().unwrap() > 0);
+        assert!(!v["detections"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn batch_job_runs_volume() {
+        let spec = JobSpec::Batch {
+            input: InputSpec::PhantomVolume {
+                kind: PhantomKind::Crystalline,
+                seed: 5,
+                depth: 4,
+                side: 64,
+                outlier_slices: vec![2],
+            },
+            prompt: "needle-like crystalline catalyst".into(),
+            config: None,
+        };
+        match run_job(&spec) {
+            JobResult::Volume {
+                depth,
+                per_slice_pixels,
+                ..
+            } => {
+                assert_eq!(depth, 4);
+                assert_eq!(per_slice_pixels.len(), 4);
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_json_is_reported_not_panicked() {
+        let out = run_job_json("{not json");
+        assert!(out.contains("invalid job spec"));
+    }
+
+    #[test]
+    fn mode_input_mismatch_is_an_error() {
+        let spec = JobSpec::Interactive {
+            input: InputSpec::Benchmark { seed: 1, side: 64 },
+            prompt: "x".into(),
+            config: None,
+        };
+        match run_job(&spec) {
+            JobResult::Error { message } => assert!(message.contains("single slice")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiff_file_job_roundtrip() {
+        // Write a phantom slice as TIFF, then run an interactive job on it.
+        let dir = std::env::temp_dir().join("zenesis_job_tiff");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slice.tif");
+        let g = zenesis_data::generate_slice(&PhantomConfig::new(
+            zenesis_data::SampleKind::Amorphous,
+            11,
+        ));
+        zenesis_image::io::tiff::save_tiff_u16(&g.raw, &path).unwrap();
+        let spec = JobSpec::Interactive {
+            input: InputSpec::TiffFile {
+                path: path.to_string_lossy().into_owned(),
+            },
+            prompt: "catalyst particles".into(),
+            config: None,
+        };
+        match run_job(&spec) {
+            JobResult::Slice { mask_pixels, .. } => assert!(mask_pixels > 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiff_volume_batch_job() {
+        let dir = std::env::temp_dir().join("zenesis_job_tiffvol");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("vol.tif");
+        let v = generate_volume(SampleKind::Amorphous, 64, 3, 5, &[]);
+        std::fs::write(
+            &path,
+            zenesis_image::io::tiff::write_tiff_volume_u16(&v.volume),
+        )
+        .unwrap();
+        let spec = JobSpec::Batch {
+            input: InputSpec::TiffVolumeFile {
+                path: path.to_string_lossy().into_owned(),
+            },
+            prompt: "catalyst particles".into(),
+            config: None,
+        };
+        match run_job(&spec) {
+            JobResult::Volume {
+                depth,
+                per_slice_pixels,
+                ..
+            } => {
+                assert_eq!(depth, 3);
+                assert_eq!(per_slice_pixels.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_file_is_structured_error() {
+        let spec = JobSpec::Interactive {
+            input: InputSpec::TiffFile {
+                path: "/nonexistent/nowhere.tif".into(),
+            },
+            prompt: "x".into(),
+            config: None,
+        };
+        match run_job(&spec) {
+            JobResult::Error { message } => assert!(message.contains("cannot read tiff")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spec_serde_roundtrip() {
+        let spec = JobSpec::Evaluate {
+            input: InputSpec::Benchmark { seed: 42, side: 96 },
+            methods: vec![Method::Otsu, Method::Zenesis],
+            config: Some(ZenesisConfig::fast_preview()),
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: JobSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

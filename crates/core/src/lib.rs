@@ -1,0 +1,43 @@
+//! # zenesis-core
+//!
+//! The Zenesis platform (paper contribution 2): the no-code interactive
+//! segmentation system tying together the adaptation layer, the
+//! GroundingDINO surrogate, the SAM surrogate, the human-in-the-loop
+//! corrections, and the evaluation framework.
+//!
+//! * [`pipeline`] — the core flow: raw image → adaptation →
+//!   text-conditioned grounding → box-prompted mask decoding → combined
+//!   segmentation, with a full provenance trace (Fig. 2).
+//! * [`temporal`] — the heuristic box refinement for volumes (Fig. 7):
+//!   sliding-window mean box width/height, factor-thresholded outlier
+//!   replacement.
+//! * [`rectify`] — human-in-the-loop Rectify Segmentation (Fig. 6):
+//!   random candidate boxes (full-width / full-height per the paper) and
+//!   nearest-segment selection from a user click.
+//! * [`hierarchy`] — Further Segment (Fig. 5): hierarchical
+//!   re-segmentation of a selected subregion.
+//! * [`modes`] — the platform's three modes: A (interactive single
+//!   slice), B (batch volume processing), C (evaluation dashboard).
+//! * [`multi`] — multi-object segmentation (several named prompts per
+//!   image with relevance-based conflict resolution; paper future work).
+//! * [`method`] — the unified method interface used by evaluation:
+//!   Otsu / SAM-only / Zenesis (Tables 1-3).
+//! * [`job`] — the serde JSON job contract a web UI submits ("no-code").
+//! * [`session`] — interactive session state with undo history.
+
+pub mod config;
+pub mod hierarchy;
+pub mod job;
+pub mod method;
+pub mod modes;
+pub mod multi;
+pub mod pipeline;
+pub mod rectify;
+pub mod session;
+pub mod temporal;
+
+pub use config::ZenesisConfig;
+pub use method::Method;
+pub use multi::{MultiResult, ObjectSpec};
+pub use pipeline::{SliceResult, Zenesis};
+pub use temporal::{TemporalConfig, VolumeResult};

@@ -1,0 +1,244 @@
+//! The core Zenesis pipeline: raw → adapt → ground → segment (Fig. 2).
+
+#![allow(clippy::field_reassign_with_default)]
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use zenesis_adapt::AdaptTrace;
+use zenesis_ground::{Detection, GroundingDino};
+use zenesis_image::{BitMask, Image, Pixel};
+use zenesis_sam::{Polarity, PromptSet, Sam};
+
+use crate::config::ZenesisConfig;
+
+/// Stage timings and provenance of one slice run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineTrace {
+    pub adapt_ms: f64,
+    pub ground_ms: f64,
+    pub segment_ms: f64,
+    pub total_ms: f64,
+    pub adapt_stages: Vec<AdaptTrace>,
+    pub tokens: Vec<String>,
+    pub n_detections: usize,
+}
+
+/// The result of segmenting one slice.
+#[derive(Debug, Clone)]
+pub struct SliceResult {
+    /// The adapted (model-ready) image.
+    pub adapted: Image<f32>,
+    /// DINO detections that survived thresholds and NMS.
+    pub detections: Vec<Detection>,
+    /// Per-detection masks, aligned with `detections`.
+    pub masks: Vec<BitMask>,
+    /// Union of all per-detection masks — the Zenesis segmentation.
+    pub combined: BitMask,
+    /// Patch-level grounding relevance upsampled to image resolution
+    /// (used for display overlays and multi-object conflict resolution).
+    pub relevance: Image<f32>,
+    /// Stage provenance.
+    pub trace: PipelineTrace,
+}
+
+impl SliceResult {
+    /// Pixel coverage of the combined mask.
+    pub fn coverage(&self) -> f64 {
+        self.combined.coverage()
+    }
+}
+
+/// The assembled platform pipeline.
+pub struct Zenesis {
+    pub config: ZenesisConfig,
+    dino: GroundingDino,
+    sam: Sam,
+}
+
+impl Zenesis {
+    pub fn new(config: ZenesisConfig) -> Self {
+        let dino = GroundingDino::new(config.dino.clone());
+        let sam = Sam::new(config.sam);
+        Zenesis { config, dino, sam }
+    }
+
+    /// Access the grounding model (used by rectify / hierarchy).
+    pub fn dino(&self) -> &GroundingDino {
+        &self.dino
+    }
+
+    /// Access the segmenter.
+    pub fn sam(&self) -> &Sam {
+        &self.sam
+    }
+
+    /// Teach the platform a user concept learned with
+    /// [`zenesis_ground::finetune`] (the optional fine-tuning module);
+    /// the concept name becomes prompt vocabulary for every mode.
+    pub fn teach_concept(&mut self, concept: &zenesis_ground::LearnedConcept) {
+        self.dino.teach(concept);
+    }
+
+    /// Adapt a raw image of any bit depth into the model-ready domain.
+    pub fn adapt<T: Pixel>(&self, raw: &Image<T>) -> (Image<f32>, Vec<AdaptTrace>) {
+        self.config.adapt.run_traced(&raw.to_f32())
+    }
+
+    /// Full pipeline on a raw slice with a natural-language prompt.
+    pub fn segment_slice<T: Pixel>(&self, raw: &Image<T>, prompt: &str) -> SliceResult {
+        let t0 = Instant::now();
+        let (adapted, adapt_stages) = self.adapt(raw);
+        let adapt_ms = t0.elapsed().as_secs_f64() * 1e3;
+        self.segment_adapted_with(adapted, adapt_stages, adapt_ms, prompt)
+    }
+
+    /// Pipeline on an already-adapted image (Mode A re-prompting reuses
+    /// the adaptation).
+    pub fn segment_adapted(&self, adapted: &Image<f32>, prompt: &str) -> SliceResult {
+        self.segment_adapted_with(adapted.clone(), Vec::new(), 0.0, prompt)
+    }
+
+    fn segment_adapted_with(
+        &self,
+        adapted: Image<f32>,
+        adapt_stages: Vec<AdaptTrace>,
+        adapt_ms: f64,
+        prompt: &str,
+    ) -> SliceResult {
+        let (w, h) = adapted.dims();
+        // Grounding and the SAM image encoding are independent; fork-join
+        // overlaps them (SAM's design point: encode once, decode many).
+        let t1 = Instant::now();
+        let (grounding, emb) = zenesis_par::join(
+            || self.dino.ground(&adapted, prompt),
+            || self.sam.encode(&adapted),
+        );
+        let ground_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        let t2 = Instant::now();
+        let polarity = if grounding.dark_polarity {
+            Polarity::Dark
+        } else {
+            Polarity::Bright
+        };
+        let masks: Vec<BitMask> = grounding
+            .detections
+            .iter()
+            .map(|d| {
+                self.sam
+                    .segment(&emb, &PromptSet::from_box(d.bbox).with_polarity(polarity))
+            })
+            .collect();
+        let mut combined = BitMask::new(w, h);
+        for m in &masks {
+            combined.or_with(m);
+        }
+        // Relevance gate (the Grounded-SAM practice of keeping only mask
+        // pixels the grounding supports): intersect with the dilated
+        // high-relevance region. Dilation by half a patch forgives the
+        // coarse patch grid at structure boundaries.
+        if let Some(floor) = self.config.relevance_floor {
+            let support = BitMask::from_threshold(&grounding.relevance_full(w, h), floor);
+            let support = zenesis_image::morphology::dilate(
+                &support,
+                zenesis_image::morphology::Structuring::Square(grounding.patch / 2),
+            );
+            combined.and_with(&support);
+        }
+        let segment_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+        let relevance = grounding.relevance_full(w, h);
+        SliceResult {
+            adapted,
+            masks,
+            combined,
+            relevance,
+            trace: PipelineTrace {
+                adapt_ms,
+                ground_ms,
+                segment_ms,
+                total_ms: adapt_ms + ground_ms + segment_ms,
+                adapt_stages,
+                tokens: grounding.tokens.clone(),
+                n_detections: grounding.detections.len(),
+            },
+            detections: grounding.detections,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zenesis_data::{generate_slice, PhantomConfig, SampleKind};
+
+    fn pipeline() -> Zenesis {
+        Zenesis::new(ZenesisConfig::default())
+    }
+
+    #[test]
+    fn crystalline_slice_end_to_end() {
+        let g = generate_slice(&PhantomConfig::new(SampleKind::Crystalline, 1));
+        let z = pipeline();
+        let r = z.segment_slice(&g.raw, "needle-like crystalline catalyst");
+        assert!(!r.detections.is_empty(), "no detections");
+        assert_eq!(r.masks.len(), r.detections.len());
+        let iou = r.combined.iou(&g.truth);
+        assert!(iou > 0.5, "pipeline iou {iou}");
+        assert_eq!(r.trace.n_detections, r.detections.len());
+        assert!(r.trace.total_ms > 0.0);
+        assert_eq!(r.trace.adapt_stages.len(), z.config.adapt.stages.len());
+    }
+
+    #[test]
+    fn amorphous_slice_end_to_end() {
+        let g = generate_slice(&PhantomConfig::new(SampleKind::Amorphous, 11));
+        let z = pipeline();
+        let r = z.segment_slice(&g.raw, "bright catalyst particles");
+        let iou = r.combined.iou(&g.truth);
+        assert!(iou > 0.5, "pipeline iou {iou}");
+    }
+
+    #[test]
+    fn empty_prompt_empty_mask() {
+        let g = generate_slice(&PhantomConfig::new(SampleKind::Amorphous, 2));
+        let z = pipeline();
+        let r = z.segment_slice(&g.raw, "");
+        assert!(r.detections.is_empty());
+        assert_eq!(r.combined.count(), 0);
+    }
+
+    #[test]
+    fn segment_adapted_reuses_adaptation() {
+        let g = generate_slice(&PhantomConfig::new(SampleKind::Amorphous, 3));
+        let z = pipeline();
+        let full = z.segment_slice(&g.raw, "bright catalyst particles");
+        let re = z.segment_adapted(&full.adapted, "bright catalyst particles");
+        assert_eq!(re.combined, full.combined);
+        assert_eq!(re.trace.adapt_ms, 0.0);
+    }
+
+    #[test]
+    fn combined_is_gated_union_of_masks() {
+        let g = generate_slice(&PhantomConfig::new(SampleKind::Crystalline, 4));
+        // With the relevance gate on, combined ⊆ union of per-box masks.
+        let z = pipeline();
+        let r = z.segment_slice(&g.raw, "needle-like crystalline catalyst");
+        let mut union = BitMask::new(r.combined.width(), r.combined.height());
+        for m in &r.masks {
+            union.or_with(m);
+        }
+        assert_eq!(r.combined.intersection_count(&union), r.combined.count());
+        // With the gate off, combined == union exactly.
+        let mut cfg = ZenesisConfig::default();
+        cfg.relevance_floor = None;
+        let z2 = Zenesis::new(cfg);
+        let r2 = z2.segment_slice(&g.raw, "needle-like crystalline catalyst");
+        let mut union2 = BitMask::new(r2.combined.width(), r2.combined.height());
+        for m in &r2.masks {
+            union2.or_with(m);
+        }
+        assert_eq!(union2, r2.combined);
+    }
+}

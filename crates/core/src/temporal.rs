@@ -1,0 +1,334 @@
+//! Heuristic temporal box refinement for volumes (Fig. 7).
+//!
+//! Paper: "For multi-slice volumes, the system computes mean width/height
+//! across a fallback window of adjacent slices. Boxes exceeding a height
+//! or width factor are replaced by the average box of previous slices,
+//! ensuring temporal consistency and mitigating artifacts due to sudden
+//! changes in appearance or GroundingDINO failures."
+
+use serde::{Deserialize, Serialize};
+use zenesis_image::{BitMask, BoxRegion, Image, Pixel, Volume};
+use zenesis_sam::{MemoryBank, PromptSet};
+
+use crate::pipeline::{SliceResult, Zenesis};
+
+/// Temporal refinement parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemporalConfig {
+    /// Number of previous slices in the fallback window.
+    pub window: usize,
+    /// A box is an outlier if its width or height differs from the window
+    /// mean by more than this multiplicative factor (checked both ways:
+    /// `dim > factor * mean` or `dim < mean / factor`).
+    pub size_factor: f64,
+    /// Also treat a missing detection (no boxes at all) as an outlier and
+    /// substitute the window-average box.
+    pub fill_missing: bool,
+}
+
+impl Default for TemporalConfig {
+    fn default() -> Self {
+        TemporalConfig {
+            window: 3,
+            size_factor: 1.6,
+            fill_missing: true,
+        }
+    }
+}
+
+/// Per-slice record of what the heuristic did.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SliceBoxEvent {
+    pub slice: usize,
+    /// The primary DINO box before refinement (None = no detection).
+    pub raw_box: Option<BoxRegion>,
+    /// The box actually used after refinement.
+    pub used_box: Option<BoxRegion>,
+    /// Whether the heuristic replaced the raw box.
+    pub corrected: bool,
+}
+
+/// Result of batch volume processing.
+#[derive(Debug)]
+pub struct VolumeResult {
+    /// Per-slice segmentation masks.
+    pub masks: Vec<BitMask>,
+    /// Per-slice full results (detections, traces).
+    pub slices: Vec<SliceResult>,
+    /// What the temporal heuristic did per slice.
+    pub events: Vec<SliceBoxEvent>,
+}
+
+impl VolumeResult {
+    /// Number of slices whose box was corrected.
+    pub fn corrections(&self) -> usize {
+        self.events.iter().filter(|e| e.corrected).count()
+    }
+
+    /// Volumetric evaluation against per-slice ground truth: pooled 3-D
+    /// metrics plus temporal-smoothness diagnostics.
+    pub fn evaluate(&self, truths: &[BitMask]) -> zenesis_metrics::VolumeEval {
+        zenesis_metrics::evaluate_volume(&self.masks, truths)
+    }
+}
+
+/// Is `b` an outlier relative to the window mean dimensions?
+fn is_outlier(b: &BoxRegion, mean_w: f64, mean_h: f64, factor: f64) -> bool {
+    let (w, h) = (b.width() as f64, b.height() as f64);
+    w > factor * mean_w || h > factor * mean_h || w < mean_w / factor || h < mean_h / factor
+}
+
+/// Mean box (center and size averaged) of a window of boxes.
+fn mean_box(window: &[BoxRegion]) -> BoxRegion {
+    let n = window.len() as f64;
+    let (mut cx, mut cy, mut w, mut h) = (0.0, 0.0, 0.0, 0.0);
+    for b in window {
+        let (bx, by) = b.center();
+        cx += bx;
+        cy += by;
+        w += b.width() as f64;
+        h += b.height() as f64;
+    }
+    BoxRegion::from_center(cx / n, cy / n, w / n, h / n)
+}
+
+/// Apply the temporal heuristic to a per-slice primary-box sequence.
+///
+/// Returns `(used_boxes, events, window_dims)` where `window_dims[i]` is
+/// the `(mean width, mean height)` of the fallback window that judged
+/// slice `i` (`None` before any history exists — the same statistic also
+/// screens that slice's secondary boxes). Accepted (non-outlier) boxes
+/// enter the history window that judges later slices; replaced boxes do
+/// not, so one bad slice cannot poison the statistics.
+pub fn refine_boxes(
+    raw: &[Option<BoxRegion>],
+    cfg: &TemporalConfig,
+) -> (
+    Vec<Option<BoxRegion>>,
+    Vec<SliceBoxEvent>,
+    Vec<Option<(f64, f64)>>,
+) {
+    let mut history: Vec<BoxRegion> = Vec::new();
+    let mut used = Vec::with_capacity(raw.len());
+    let mut events = Vec::with_capacity(raw.len());
+    let mut dims = Vec::with_capacity(raw.len());
+    for (i, rb) in raw.iter().enumerate() {
+        let window: Vec<BoxRegion> = history
+            .iter()
+            .rev()
+            .take(cfg.window)
+            .copied()
+            .collect();
+        let window_dims = (!window.is_empty()).then(|| {
+            (
+                window.iter().map(|x| x.width() as f64).sum::<f64>() / window.len() as f64,
+                window.iter().map(|x| x.height() as f64).sum::<f64>() / window.len() as f64,
+            )
+        });
+        let (used_box, corrected) = match (rb, window_dims) {
+            (Some(b), Some((mean_w, mean_h))) => {
+                if is_outlier(b, mean_w, mean_h, cfg.size_factor) {
+                    (Some(mean_box(&window)), true)
+                } else {
+                    (Some(*b), false)
+                }
+            }
+            (Some(b), None) => (Some(*b), false),
+            (None, Some(_)) if cfg.fill_missing => (Some(mean_box(&window)), true),
+            (None, _) => (None, false),
+        };
+        if let (Some(u), false) = (&used_box, corrected) {
+            history.push(*u);
+        }
+        used.push(used_box);
+        dims.push(window_dims);
+        events.push(SliceBoxEvent {
+            slice: i,
+            raw_box: *rb,
+            used_box,
+            corrected,
+        });
+    }
+    (used, events, dims)
+}
+
+impl Zenesis {
+    /// Mode B batch processing of a volume with temporal refinement.
+    ///
+    /// Stage 1 adapts and grounds every slice in parallel; stage 2 runs
+    /// the (sequential, windowed) box heuristic; stage 3 decodes masks in
+    /// parallel with the refined boxes. When `config.use_memory` is set,
+    /// decoding instead runs sequentially through a SAM2 memory bank,
+    /// with the refined box of each slice seeding the cold start.
+    pub fn segment_volume<T: Pixel>(&self, vol: &Volume<T>, prompt: &str) -> VolumeResult {
+        let depth = vol.depth();
+        // Stage 1: per-slice pipeline (parallel over slices).
+        let slices: Vec<SliceResult> = zenesis_par::par_map_range(depth, |z| {
+            self.segment_slice(vol.slice(z), prompt)
+        });
+        // Stage 2: temporal refinement over the primary (highest-score)
+        // boxes.
+        let raw_boxes: Vec<Option<BoxRegion>> = slices
+            .iter()
+            .map(|s| s.detections.first().map(|d| d.bbox))
+            .collect();
+        let (used, events, window_dims) = refine_boxes(&raw_boxes, &self.config.temporal);
+        // Stage 3: decode masks with the refined primary box plus the
+        // secondary (non-primary) boxes that pass the same size screen.
+        let masks: Vec<BitMask> = if self.config.use_memory {
+            let mut bank = MemoryBank::new(self.config.temporal.window.max(1));
+            let mut out = Vec::with_capacity(depth);
+            for z in 0..depth {
+                let adapted = slices[z].adapted.clone();
+                let used_box = used[z];
+                let mask = bank.propagate(self.sam(), &adapted, || {
+                    self.decode_with_box(&adapted, used_box, &slices[z], window_dims[z])
+                });
+                out.push(mask);
+            }
+            out
+        } else {
+            zenesis_par::par_map_range(depth, |z| {
+                self.decode_with_box(&slices[z].adapted, used[z], &slices[z], window_dims[z])
+            })
+        };
+        VolumeResult {
+            masks,
+            slices,
+            events,
+        }
+    }
+
+    /// Decode a slice using a refined primary box (if any) together with
+    /// the secondary detections that pass the same temporal size screen
+    /// (a glitched slice's garbage boxes must not leak in as secondaries).
+    fn decode_with_box(
+        &self,
+        adapted: &Image<f32>,
+        primary: Option<BoxRegion>,
+        slice: &SliceResult,
+        window_dims: Option<(f64, f64)>,
+    ) -> BitMask {
+        let (w, h) = adapted.dims();
+        let emb = self.sam().encode(adapted);
+        let mut combined = BitMask::new(w, h);
+        if let Some(b) = primary {
+            combined.or_with(&self.sam().segment(&emb, &PromptSet::from_box(b)));
+        }
+        for d in slice.detections.iter().skip(1) {
+            if let Some((mean_w, mean_h)) = window_dims {
+                if is_outlier(&d.bbox, mean_w, mean_h, self.config.temporal.size_factor) {
+                    continue;
+                }
+            }
+            combined.or_with(&self.sam().segment(&emb, &PromptSet::from_box(d.bbox)));
+        }
+        combined
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(x0: usize, y0: usize, x1: usize, y1: usize) -> BoxRegion {
+        BoxRegion::new(x0, y0, x1, y1)
+    }
+
+    #[test]
+    fn consistent_sequence_untouched() {
+        let raw: Vec<Option<BoxRegion>> = (0..6)
+            .map(|i| Some(b(10 + i, 10, 30 + i, 40)))
+            .collect();
+        let (used, events, _) = refine_boxes(&raw, &TemporalConfig::default());
+        assert!(events.iter().all(|e| !e.corrected));
+        assert_eq!(used, raw);
+    }
+
+    #[test]
+    fn oversized_outlier_replaced_by_window_mean() {
+        let mut raw: Vec<Option<BoxRegion>> =
+            (0..5).map(|_| Some(b(10, 10, 30, 40))).collect();
+        raw.push(Some(b(0, 0, 120, 120))); // sudden failure box
+        raw.push(Some(b(10, 10, 30, 40)));
+        let (used, events, _) = refine_boxes(&raw, &TemporalConfig::default());
+        assert!(events[5].corrected, "outlier must be corrected");
+        let u = used[5].unwrap();
+        // Replacement has the window's dimensions (20 x 30).
+        assert_eq!((u.width(), u.height()), (20, 30));
+        // The slice after the outlier is judged against clean history.
+        assert!(!events[6].corrected);
+    }
+
+    #[test]
+    fn undersized_outlier_replaced() {
+        let mut raw: Vec<Option<BoxRegion>> =
+            (0..4).map(|_| Some(b(10, 10, 50, 50))).collect();
+        raw.push(Some(b(20, 20, 24, 24))); // collapsed box
+        let (_, events, _) = refine_boxes(&raw, &TemporalConfig::default());
+        assert!(events[4].corrected);
+    }
+
+    #[test]
+    fn missing_detection_filled_from_window() {
+        let mut raw: Vec<Option<BoxRegion>> =
+            (0..3).map(|_| Some(b(10, 10, 30, 40))).collect();
+        raw.push(None);
+        let (used, events, _) = refine_boxes(&raw, &TemporalConfig::default());
+        assert!(events[3].corrected);
+        assert!(used[3].is_some());
+        let cfg = TemporalConfig {
+            fill_missing: false,
+            ..TemporalConfig::default()
+        };
+        let (used2, events2, _) = refine_boxes(&raw, &cfg);
+        assert!(used2[3].is_none());
+        assert!(!events2[3].corrected);
+    }
+
+    #[test]
+    fn first_slice_never_corrected() {
+        let raw = vec![Some(b(0, 0, 100, 100))];
+        let (used, events, _) = refine_boxes(&raw, &TemporalConfig::default());
+        assert!(!events[0].corrected);
+        assert_eq!(used[0], raw[0]);
+    }
+
+    #[test]
+    fn corrected_boxes_do_not_poison_history() {
+        // Three good, then a run of bad boxes: all bad ones corrected
+        // against the surviving good history.
+        let mut raw: Vec<Option<BoxRegion>> =
+            (0..3).map(|_| Some(b(10, 10, 30, 40))).collect();
+        for _ in 0..4 {
+            raw.push(Some(b(0, 0, 128, 128)));
+        }
+        let (_, events, _) = refine_boxes(&raw, &TemporalConfig::default());
+        for e in &events[3..] {
+            assert!(e.corrected, "slice {} should be corrected", e.slice);
+        }
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let (used, events, dims) = refine_boxes(&[], &TemporalConfig::default());
+        assert!(used.is_empty() && events.is_empty() && dims.is_empty());
+    }
+
+    #[test]
+    fn factor_controls_sensitivity() {
+        let mut raw: Vec<Option<BoxRegion>> =
+            (0..3).map(|_| Some(b(10, 10, 30, 40))).collect();
+        raw.push(Some(b(10, 10, 40, 55))); // 1.5x in both dims
+        let strict = TemporalConfig {
+            size_factor: 1.2,
+            ..TemporalConfig::default()
+        };
+        let lax = TemporalConfig {
+            size_factor: 2.0,
+            ..TemporalConfig::default()
+        };
+        assert!(refine_boxes(&raw, &strict).1[3].corrected);
+        assert!(!refine_boxes(&raw, &lax).1[3].corrected);
+    }
+}

@@ -1,0 +1,19 @@
+//! Image and volume codecs.
+//!
+//! Scientific pipelines live and die by formats; the paper's platform
+//! ingests TIFF stacks straight off the microscope. This module provides:
+//!
+//! * [`pgm`] — binary PGM (P5) for 8/16-bit grayscale and PPM (P6) for RGB;
+//!   the simplest interchange format, used for all figure outputs.
+//! * [`png`] — a from-scratch PNG *encoder* (stored-deflate zlib): the
+//!   universally viewable output format for figure panels.
+//! * [`tiff`] — a from-scratch minimal TIFF codec: uncompressed, grayscale,
+//!   8 or 16 bits/sample, single- or multi-page (volumes). Little-endian
+//!   writer; reader accepts both byte orders.
+//! * [`raw`] — headerless dumps with explicit shape, the lowest common
+//!   denominator for instrument data.
+
+pub mod pgm;
+pub mod png;
+pub mod raw;
+pub mod tiff;

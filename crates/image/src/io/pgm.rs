@@ -1,0 +1,233 @@
+//! Binary PGM (P5) and PPM (P6) codecs.
+//!
+//! 16-bit PGM uses big-endian samples per the Netpbm specification.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::error::{ImageError, Result};
+use crate::image::{Image, RgbImage};
+
+fn write_header(out: &mut impl Write, magic: &str, w: usize, h: usize, maxval: u32) -> Result<()> {
+    write!(out, "{magic}\n{w} {h}\n{maxval}\n")?;
+    Ok(())
+}
+
+/// Write an 8-bit grayscale PGM.
+pub fn write_pgm_u8(img: &Image<u8>, out: &mut impl Write) -> Result<()> {
+    write_header(out, "P5", img.width(), img.height(), 255)?;
+    out.write_all(img.as_slice())?;
+    Ok(())
+}
+
+/// Write a 16-bit grayscale PGM (big-endian samples).
+pub fn write_pgm_u16(img: &Image<u16>, out: &mut impl Write) -> Result<()> {
+    write_header(out, "P5", img.width(), img.height(), 65535)?;
+    let mut buf = Vec::with_capacity(img.len() * 2);
+    for &v in img.as_slice() {
+        buf.extend_from_slice(&v.to_be_bytes());
+    }
+    out.write_all(&buf)?;
+    Ok(())
+}
+
+/// Write an RGB PPM.
+pub fn write_ppm(img: &RgbImage, out: &mut impl Write) -> Result<()> {
+    write_header(out, "P6", img.width(), img.height(), 255)?;
+    out.write_all(img.as_slice())?;
+    Ok(())
+}
+
+/// Convenience: save an 8-bit PGM to a path.
+pub fn save_pgm_u8(img: &Image<u8>, path: impl AsRef<Path>) -> Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    write_pgm_u8(img, &mut f)
+}
+
+/// Convenience: save a 16-bit PGM to a path.
+pub fn save_pgm_u16(img: &Image<u16>, path: impl AsRef<Path>) -> Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    write_pgm_u16(img, &mut f)
+}
+
+/// Convenience: save a PPM to a path.
+pub fn save_ppm(img: &RgbImage, path: impl AsRef<Path>) -> Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    write_ppm(img, &mut f)
+}
+
+struct HeaderReader<'a, R: Read> {
+    inner: &'a mut R,
+}
+
+impl<R: Read> HeaderReader<'_, R> {
+    fn read_byte(&mut self) -> Result<u8> {
+        let mut b = [0u8; 1];
+        self.inner.read_exact(&mut b)?;
+        Ok(b[0])
+    }
+
+    /// Read the next whitespace-delimited token, skipping `#` comments.
+    fn token(&mut self) -> Result<String> {
+        let mut b = self.read_byte()?;
+        loop {
+            if b == b'#' {
+                while b != b'\n' {
+                    b = self.read_byte()?;
+                }
+            } else if b.is_ascii_whitespace() {
+                b = self.read_byte()?;
+            } else {
+                break;
+            }
+        }
+        let mut tok = String::new();
+        while !b.is_ascii_whitespace() {
+            tok.push(b as char);
+            b = self.read_byte()?;
+        }
+        Ok(tok)
+    }
+}
+
+/// Decoded PGM payload (8- or 16-bit).
+pub enum Pgm {
+    U8(Image<u8>),
+    U16(Image<u16>),
+}
+
+/// Read a binary PGM (P5), 8- or 16-bit.
+pub fn read_pgm(input: &mut impl Read) -> Result<Pgm> {
+    let mut hr = HeaderReader { inner: input };
+    let magic = hr.token()?;
+    if magic != "P5" {
+        return Err(ImageError::Decode(format!("expected P5, got {magic}")));
+    }
+    let parse = |s: String| -> Result<usize> {
+        s.parse()
+            .map_err(|_| ImageError::Decode(format!("bad integer {s:?}")))
+    };
+    let w = parse(hr.token()?)?;
+    let h = parse(hr.token()?)?;
+    let maxval = parse(hr.token()?)?;
+    if w == 0 || h == 0 {
+        return Err(ImageError::EmptyDimensions);
+    }
+    // The single whitespace after maxval was consumed by token's terminator.
+    if maxval <= 255 {
+        let mut data = vec![0u8; w * h];
+        input.read_exact(&mut data)?;
+        Ok(Pgm::U8(Image::from_vec(w, h, data)?))
+    } else if maxval <= 65535 {
+        let mut raw = vec![0u8; w * h * 2];
+        input.read_exact(&mut raw)?;
+        let data = raw
+            .chunks_exact(2)
+            .map(|c| u16::from_be_bytes([c[0], c[1]]))
+            .collect();
+        Ok(Pgm::U16(Image::from_vec(w, h, data)?))
+    } else {
+        Err(ImageError::Unsupported(format!("maxval {maxval}")))
+    }
+}
+
+/// Read a binary PPM (P6), 8-bit RGB.
+pub fn read_ppm(input: &mut impl Read) -> Result<RgbImage> {
+    let mut hr = HeaderReader { inner: input };
+    let magic = hr.token()?;
+    if magic != "P6" {
+        return Err(ImageError::Decode(format!("expected P6, got {magic}")));
+    }
+    let parse = |s: String| -> Result<usize> {
+        s.parse()
+            .map_err(|_| ImageError::Decode(format!("bad integer {s:?}")))
+    };
+    let w = parse(hr.token()?)?;
+    let h = parse(hr.token()?)?;
+    let maxval = parse(hr.token()?)?;
+    if maxval != 255 {
+        return Err(ImageError::Unsupported(format!("ppm maxval {maxval}")));
+    }
+    let mut data = vec![0u8; w * h * 3];
+    input.read_exact(&mut data)?;
+    RgbImage::from_vec(w, h, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_u8_roundtrip() {
+        let img = Image::<u8>::from_fn(13, 7, |x, y| (x * 19 + y * 3) as u8);
+        let mut buf = Vec::new();
+        write_pgm_u8(&img, &mut buf).unwrap();
+        match read_pgm(&mut buf.as_slice()).unwrap() {
+            Pgm::U8(back) => assert_eq!(back, img),
+            _ => panic!("wrong depth"),
+        }
+    }
+
+    #[test]
+    fn pgm_u16_roundtrip() {
+        let img = Image::<u16>::from_fn(5, 9, |x, y| (x * 9999 + y * 777) as u16);
+        let mut buf = Vec::new();
+        write_pgm_u16(&img, &mut buf).unwrap();
+        match read_pgm(&mut buf.as_slice()).unwrap() {
+            Pgm::U16(back) => assert_eq!(back, img),
+            _ => panic!("wrong depth"),
+        }
+    }
+
+    #[test]
+    fn ppm_roundtrip() {
+        let mut img = RgbImage::filled(4, 3, [1, 2, 3]);
+        img.set(2, 1, [200, 100, 50]);
+        let mut buf = Vec::new();
+        write_ppm(&img, &mut buf).unwrap();
+        let back = read_ppm(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn comments_in_header_are_skipped() {
+        let img = Image::<u8>::filled(2, 2, 7);
+        let mut buf = Vec::new();
+        write_pgm_u8(&img, &mut buf).unwrap();
+        // Inject a comment line after the magic.
+        let mut with_comment = b"P5\n# microscope metadata\n2 2\n255\n".to_vec();
+        with_comment.extend_from_slice(&buf[buf.len() - 4..]);
+        match read_pgm(&mut with_comment.as_slice()).unwrap() {
+            Pgm::U8(back) => assert_eq!(back, img),
+            _ => panic!("wrong depth"),
+        }
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let data = b"P6\n2 2\n255\n0123".to_vec();
+        assert!(read_pgm(&mut data.as_slice()).is_err());
+        let data2 = b"P5\n2 2\n255\n0123".to_vec();
+        assert!(read_ppm(&mut data2.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_errors() {
+        let data = b"P5\n4 4\n255\nxx".to_vec();
+        assert!(read_pgm(&mut data.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_save_and_load() {
+        let dir = std::env::temp_dir().join("zenesis_pgm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pgm");
+        let img = Image::<u16>::from_fn(8, 8, |x, y| ((x + 1) * (y + 1) * 900) as u16);
+        save_pgm_u16(&img, &path).unwrap();
+        let mut f = std::fs::File::open(&path).unwrap();
+        match read_pgm(&mut f).unwrap() {
+            Pgm::U16(back) => assert_eq!(back, img),
+            _ => panic!("wrong depth"),
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Headerless raw dumps with explicit shape — the lowest common
+//! denominator for instrument exports ("open as raw" workflows).
+
+use crate::error::{ImageError, Result};
+use crate::image::Image;
+
+/// Byte order of 16-bit raw samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByteOrder {
+    Little,
+    Big,
+}
+
+/// Interpret `bytes` as an 8-bit grayscale raster of the given shape.
+pub fn read_raw_u8(bytes: &[u8], width: usize, height: usize) -> Result<Image<u8>> {
+    if bytes.len() != width * height {
+        return Err(ImageError::ShapeMismatch {
+            expected: width * height,
+            actual: bytes.len(),
+        });
+    }
+    Image::from_vec(width, height, bytes.to_vec())
+}
+
+/// Interpret `bytes` as a 16-bit grayscale raster of the given shape.
+pub fn read_raw_u16(
+    bytes: &[u8],
+    width: usize,
+    height: usize,
+    order: ByteOrder,
+) -> Result<Image<u16>> {
+    if bytes.len() != width * height * 2 {
+        return Err(ImageError::ShapeMismatch {
+            expected: width * height * 2,
+            actual: bytes.len(),
+        });
+    }
+    let data = bytes
+        .chunks_exact(2)
+        .map(|c| match order {
+            ByteOrder::Little => u16::from_le_bytes([c[0], c[1]]),
+            ByteOrder::Big => u16::from_be_bytes([c[0], c[1]]),
+        })
+        .collect();
+    Image::from_vec(width, height, data)
+}
+
+/// Serialize a 16-bit image to raw bytes.
+pub fn write_raw_u16(img: &Image<u16>, order: ByteOrder) -> Vec<u8> {
+    img.as_slice()
+        .iter()
+        .flat_map(|v| match order {
+            ByteOrder::Little => v.to_le_bytes(),
+            ByteOrder::Big => v.to_be_bytes(),
+        })
+        .collect()
+}
+
+/// Interpret `bytes` as 32-bit little-endian floats.
+pub fn read_raw_f32(bytes: &[u8], width: usize, height: usize) -> Result<Image<f32>> {
+    if bytes.len() != width * height * 4 {
+        return Err(ImageError::ShapeMismatch {
+            expected: width * height * 4,
+            actual: bytes.len(),
+        });
+    }
+    let data = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Image::from_vec(width, height, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u8_shape_check() {
+        assert!(read_raw_u8(&[1, 2, 3, 4], 2, 2).is_ok());
+        assert!(read_raw_u8(&[1, 2, 3], 2, 2).is_err());
+    }
+
+    #[test]
+    fn u16_roundtrip_both_orders() {
+        let img = Image::<u16>::from_fn(3, 4, |x, y| (x * 300 + y * 7000) as u16);
+        for order in [ByteOrder::Little, ByteOrder::Big] {
+            let bytes = write_raw_u16(&img, order);
+            let back = read_raw_u16(&bytes, 3, 4, order).unwrap();
+            assert_eq!(back, img);
+        }
+    }
+
+    #[test]
+    fn u16_endianness_matters() {
+        let img = Image::<u16>::from_vec(1, 1, vec![0x1234]).unwrap();
+        let bytes = write_raw_u16(&img, ByteOrder::Little);
+        let wrong = read_raw_u16(&bytes, 1, 1, ByteOrder::Big).unwrap();
+        assert_eq!(wrong.get(0, 0), 0x3412);
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let vals = [0.0f32, 1.5, -3.25, 1e-7];
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let img = read_raw_f32(&bytes, 2, 2, ).unwrap();
+        assert_eq!(img.get(1, 1), 1e-7);
+        assert_eq!(img.get(0, 1), -3.25);
+    }
+}

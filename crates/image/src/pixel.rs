@@ -1,0 +1,119 @@
+//! The [`Pixel`] trait: the bit-depth abstraction.
+//!
+//! Scientific data arrives as 8-bit, 16-bit, or 32-bit-float samples; the
+//! paper's adaptation layer must read all of them losslessly and convert
+//! between them explicitly. `Pixel` exposes a canonical `f32` view in
+//! `[0, 1]` (for u8/u16: value / MAX; f32 passes through) that all
+//! algorithms operate in, plus saturating conversion back.
+
+/// A scalar sample type usable in [`crate::Image`] and [`crate::Volume`].
+pub trait Pixel: Copy + Clone + Send + Sync + PartialOrd + 'static {
+    /// The additive identity (black).
+    const ZERO: Self;
+    /// Nominal full-scale value (1.0 for floats, MAX for integers).
+    const FULL_SCALE: Self;
+    /// Bits of precision in the native representation.
+    const BIT_DEPTH: u32;
+    /// Human-readable name used in reports.
+    const NAME: &'static str;
+
+    /// Convert to the canonical normalized `f32` domain.
+    ///
+    /// Integer types map `[0, MAX]` to `[0.0, 1.0]`; `f32` is passed through
+    /// unchanged (it may legitimately exceed `[0, 1]` before adaptation).
+    fn to_norm(self) -> f32;
+
+    /// Convert from the canonical domain, saturating integer types to their
+    /// representable range and mapping NaN to zero.
+    fn from_norm(v: f32) -> Self;
+}
+
+impl Pixel for u8 {
+    const ZERO: Self = 0;
+    const FULL_SCALE: Self = u8::MAX;
+    const BIT_DEPTH: u32 = 8;
+    const NAME: &'static str = "u8";
+
+    #[inline]
+    fn to_norm(self) -> f32 {
+        self as f32 / u8::MAX as f32
+    }
+
+    #[inline]
+    fn from_norm(v: f32) -> Self {
+        let v = if v.is_nan() { 0.0 } else { v };
+        (v * u8::MAX as f32).round().clamp(0.0, u8::MAX as f32) as u8
+    }
+}
+
+impl Pixel for u16 {
+    const ZERO: Self = 0;
+    const FULL_SCALE: Self = u16::MAX;
+    const BIT_DEPTH: u32 = 16;
+    const NAME: &'static str = "u16";
+
+    #[inline]
+    fn to_norm(self) -> f32 {
+        self as f32 / u16::MAX as f32
+    }
+
+    #[inline]
+    fn from_norm(v: f32) -> Self {
+        let v = if v.is_nan() { 0.0 } else { v };
+        (v * u16::MAX as f32).round().clamp(0.0, u16::MAX as f32) as u16
+    }
+}
+
+impl Pixel for f32 {
+    const ZERO: Self = 0.0;
+    const FULL_SCALE: Self = 1.0;
+    const BIT_DEPTH: u32 = 32;
+    const NAME: &'static str = "f32";
+
+    #[inline]
+    fn to_norm(self) -> f32 {
+        self
+    }
+
+    #[inline]
+    fn from_norm(v: f32) -> Self {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u8_roundtrip_endpoints() {
+        assert_eq!(u8::from_norm(0.0), 0);
+        assert_eq!(u8::from_norm(1.0), 255);
+        assert_eq!(<u8 as Pixel>::to_norm(255), 1.0);
+        assert_eq!(<u8 as Pixel>::to_norm(0), 0.0);
+    }
+
+    #[test]
+    fn u16_roundtrip_all_sampled() {
+        for v in (0..=u16::MAX).step_by(257) {
+            let n = v.to_norm();
+            assert_eq!(u16::from_norm(n), v);
+        }
+    }
+
+    #[test]
+    fn saturation_and_nan() {
+        assert_eq!(u8::from_norm(2.0), 255);
+        assert_eq!(u8::from_norm(-1.0), 0);
+        assert_eq!(u8::from_norm(f32::NAN), 0);
+        assert_eq!(u16::from_norm(f32::NAN), 0);
+        assert_eq!(f32::from_norm(3.5), 3.5);
+    }
+
+    #[test]
+    fn bit_depths() {
+        assert_eq!(<u8 as Pixel>::BIT_DEPTH, 8);
+        assert_eq!(<u16 as Pixel>::BIT_DEPTH, 16);
+        assert_eq!(<f32 as Pixel>::BIT_DEPTH, 32);
+    }
+}

@@ -1,0 +1,334 @@
+//! Pixel confusion matrices and derived segmentation scores.
+
+use serde::{Deserialize, Serialize};
+use zenesis_image::distance::distance_to_mask;
+use zenesis_image::BitMask;
+
+/// Pixel-level confusion counts of a predicted mask against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    pub tp: usize,
+    pub fp: usize,
+    pub tn: usize,
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Compare a prediction to ground truth (same dimensions required).
+    pub fn from_masks(pred: &BitMask, truth: &BitMask) -> Self {
+        assert_eq!(pred.dims(), truth.dims(), "mask dims differ");
+        let tp = pred.intersection_count(truth);
+        let fp = pred.count() - tp;
+        let fn_ = truth.count() - tp;
+        let tn = pred.len() - tp - fp - fn_;
+        Confusion { tp, fp, tn, fn_ }
+    }
+
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// `(TP + TN) / total`.
+    pub fn accuracy(&self) -> f64 {
+        (self.tp + self.tn) as f64 / self.total().max(1) as f64
+    }
+
+    /// Jaccard index `TP / (TP + FP + FN)`; 1.0 when both masks are empty.
+    pub fn iou(&self) -> f64 {
+        let denom = self.tp + self.fp + self.fn_;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Dice / F1 `2TP / (2TP + FP + FN)`; 1.0 when both masks are empty.
+    pub fn dice(&self) -> f64 {
+        let denom = 2 * self.tp + self.fp + self.fn_;
+        if denom == 0 {
+            1.0
+        } else {
+            2.0 * self.tp as f64 / denom as f64
+        }
+    }
+
+    /// `TP / (TP + FP)`; 1.0 for an empty prediction.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// `TP / (TP + FN)`; 1.0 for empty ground truth.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// `TN / (TN + FP)`; 1.0 when there are no true negatives to protect.
+    pub fn specificity(&self) -> f64 {
+        let denom = self.tn + self.fp;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tn as f64 / denom as f64
+        }
+    }
+
+    /// Matthews correlation coefficient in `[-1, 1]`; 0 for degenerate
+    /// denominators.
+    pub fn mcc(&self) -> f64 {
+        let (tp, fp, tn, fn_) = (
+            self.tp as f64,
+            self.fp as f64,
+            self.tn as f64,
+            self.fn_ as f64,
+        );
+        let denom = ((tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_)).sqrt();
+        if denom == 0.0 {
+            0.0
+        } else {
+            (tp * tn - fp * fn_) / denom
+        }
+    }
+
+    /// Bundle the scores the dashboard shows.
+    pub fn scores(&self) -> Scores {
+        Scores {
+            accuracy: self.accuracy(),
+            iou: self.iou(),
+            dice: self.dice(),
+            precision: self.precision(),
+            recall: self.recall(),
+            specificity: self.specificity(),
+            mcc: self.mcc(),
+        }
+    }
+}
+
+/// The derived score bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scores {
+    pub accuracy: f64,
+    pub iou: f64,
+    pub dice: f64,
+    pub precision: f64,
+    pub recall: f64,
+    pub specificity: f64,
+    pub mcc: f64,
+}
+
+/// Boundary F1 with pixel tolerance `tol`: precision/recall computed over
+/// boundary pixels, where a boundary pixel counts as matched if the other
+/// mask's boundary passes within `tol` pixels (chamfer distance). Returns
+/// 1.0 when both boundaries are empty, 0.0 when exactly one is.
+pub fn boundary_f1(pred: &BitMask, truth: &BitMask, tol: f32) -> f64 {
+    assert_eq!(pred.dims(), truth.dims(), "mask dims differ");
+    let bp = pred.boundary();
+    let bt = truth.boundary();
+    let (np, nt) = (bp.count(), bt.count());
+    if np == 0 && nt == 0 {
+        return 1.0;
+    }
+    if np == 0 || nt == 0 {
+        return 0.0;
+    }
+    let (w, _) = pred.dims();
+    let d_to_truth = distance_to_mask(&bt);
+    let d_to_pred = distance_to_mask(&bp);
+    let matched_pred = bp
+        .iter_true()
+        .filter(|p| d_to_truth[p.y * w + p.x] <= tol)
+        .count();
+    let matched_truth = bt
+        .iter_true()
+        .filter(|p| d_to_pred[p.y * w + p.x] <= tol)
+        .count();
+    let precision = matched_pred as f64 / np as f64;
+    let recall = matched_truth as f64 / nt as f64;
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+/// Symmetric Hausdorff distance between mask boundaries (in pixels,
+/// chamfer-approximated): the worst-case boundary disagreement, the
+/// standard complement to area metrics for shape-critical applications.
+/// Conventions follow [`boundary_f1`]: 0.0 when both boundaries are
+/// empty, infinity when exactly one is.
+pub fn hausdorff(pred: &BitMask, truth: &BitMask) -> f64 {
+    assert_eq!(pred.dims(), truth.dims(), "mask dims differ");
+    let bp = pred.boundary();
+    let bt = truth.boundary();
+    if bp.count() == 0 && bt.count() == 0 {
+        return 0.0;
+    }
+    if bp.count() == 0 || bt.count() == 0 {
+        return f64::INFINITY;
+    }
+    let (w, _) = pred.dims();
+    let d_to_truth = distance_to_mask(&bt);
+    let d_to_pred = distance_to_mask(&bp);
+    let h1 = bp
+        .iter_true()
+        .map(|p| d_to_truth[p.y * w + p.x] as f64)
+        .fold(0.0, f64::max);
+    let h2 = bt
+        .iter_true()
+        .map(|p| d_to_pred[p.y * w + p.x] as f64)
+        .fold(0.0, f64::max);
+    h1.max(h2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zenesis_image::BoxRegion;
+
+    fn masks() -> (BitMask, BitMask) {
+        let truth = BitMask::from_box(20, 20, BoxRegion::new(5, 5, 15, 15)); // 100 px
+        let pred = BitMask::from_box(20, 20, BoxRegion::new(5, 5, 15, 10)); // 50 px, all inside
+        (pred, truth)
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let (pred, truth) = masks();
+        let c = Confusion::from_masks(&pred, &truth);
+        assert_eq!(c.tp, 50);
+        assert_eq!(c.fp, 0);
+        assert_eq!(c.fn_, 50);
+        assert_eq!(c.tn, 300);
+        assert_eq!(c.total(), 400);
+    }
+
+    #[test]
+    fn score_values() {
+        let (pred, truth) = masks();
+        let c = Confusion::from_masks(&pred, &truth);
+        assert!((c.accuracy() - 350.0 / 400.0).abs() < 1e-12);
+        assert!((c.iou() - 0.5).abs() < 1e-12);
+        assert!((c.dice() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.precision() - 1.0).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        assert!((c.specificity() - 1.0).abs() < 1e-12);
+        assert!(c.mcc() > 0.0 && c.mcc() < 1.0);
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let truth = BitMask::from_box(10, 10, BoxRegion::new(2, 2, 8, 8));
+        let c = Confusion::from_masks(&truth, &truth);
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.iou(), 1.0);
+        assert_eq!(c.dice(), 1.0);
+        assert_eq!(c.mcc(), 1.0);
+    }
+
+    #[test]
+    fn inverted_prediction_is_anti_correlated() {
+        let truth = BitMask::from_box(10, 10, BoxRegion::new(0, 0, 10, 5));
+        let pred = truth.not();
+        let c = Confusion::from_masks(&pred, &truth);
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.iou(), 0.0);
+        assert_eq!(c.mcc(), -1.0);
+    }
+
+    #[test]
+    fn empty_vs_empty_conventions() {
+        let e = BitMask::new(8, 8);
+        let c = Confusion::from_masks(&e, &e);
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.iou(), 1.0);
+        assert_eq!(c.dice(), 1.0);
+        assert_eq!(c.mcc(), 0.0); // degenerate
+    }
+
+    #[test]
+    fn dice_iou_relation() {
+        let (pred, truth) = masks();
+        let c = Confusion::from_masks(&pred, &truth);
+        let (d, i) = (c.dice(), c.iou());
+        assert!((d - 2.0 * i / (1.0 + i)).abs() < 1e-12);
+        assert!(i <= d);
+    }
+
+    #[test]
+    fn boundary_f1_exact_match() {
+        let m = BitMask::from_box(20, 20, BoxRegion::new(4, 4, 16, 16));
+        assert_eq!(boundary_f1(&m, &m, 0.0), 1.0);
+    }
+
+    #[test]
+    fn boundary_f1_tolerates_small_shift() {
+        let a = BitMask::from_box(30, 30, BoxRegion::new(5, 5, 20, 20));
+        let b = BitMask::from_box(30, 30, BoxRegion::new(6, 6, 21, 21)); // 1px shift
+        let strict = boundary_f1(&a, &b, 0.0);
+        let tolerant = boundary_f1(&a, &b, 2.0);
+        assert!(strict < 0.5);
+        assert!(tolerant > 0.95);
+    }
+
+    #[test]
+    fn boundary_f1_empty_conventions() {
+        let e = BitMask::new(10, 10);
+        let m = BitMask::from_box(10, 10, BoxRegion::new(2, 2, 8, 8));
+        assert_eq!(boundary_f1(&e, &e, 1.0), 1.0);
+        assert_eq!(boundary_f1(&e, &m, 1.0), 0.0);
+        assert_eq!(boundary_f1(&m, &e, 1.0), 0.0);
+    }
+
+    #[test]
+    fn hausdorff_identical_is_zero() {
+        let m = BitMask::from_box(20, 20, BoxRegion::new(4, 4, 16, 16));
+        assert_eq!(hausdorff(&m, &m), 0.0);
+    }
+
+    #[test]
+    fn hausdorff_measures_worst_case_shift() {
+        let a = BitMask::from_box(40, 40, BoxRegion::new(5, 5, 15, 15));
+        let b = BitMask::from_box(40, 40, BoxRegion::new(10, 5, 20, 15)); // 5px shift
+        let h = hausdorff(&a, &b);
+        assert!((h - 5.0).abs() < 1.0, "hausdorff {h}");
+    }
+
+    #[test]
+    fn hausdorff_empty_conventions() {
+        let e = BitMask::new(10, 10);
+        let m = BitMask::from_box(10, 10, BoxRegion::new(2, 2, 8, 8));
+        assert_eq!(hausdorff(&e, &e), 0.0);
+        assert!(hausdorff(&e, &m).is_infinite());
+    }
+
+    #[test]
+    fn hausdorff_dominates_mean_boundary_error() {
+        // Mostly aligned masks with one outlier blob far away: Hausdorff
+        // must see the outlier.
+        let a = BitMask::from_box(60, 60, BoxRegion::new(10, 10, 30, 30));
+        let mut b = a.clone();
+        for p in BoxRegion::new(50, 50, 55, 55).pixels() {
+            b.set(p.x, p.y, true);
+        }
+        let h = hausdorff(&a, &b);
+        assert!(h > 20.0, "outlier must dominate: {h}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn dims_must_match() {
+        let a = BitMask::new(4, 4);
+        let b = BitMask::new(5, 5);
+        let _ = Confusion::from_masks(&a, &b);
+    }
+}

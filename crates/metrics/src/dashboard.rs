@@ -1,0 +1,228 @@
+//! Dashboard rendering (the paper's Fig. 8): text tables at per-sample and
+//! dataset granularity, plus CSV and JSON exports for the no-code UI.
+
+use crate::aggregate::{DatasetEval, GroupSummary};
+
+fn hline(widths: &[usize]) -> String {
+    let mut s = String::from("+");
+    for w in widths {
+        s.push_str(&"-".repeat(w + 2));
+        s.push('+');
+    }
+    s
+}
+
+/// Display width in characters (`±` is multi-byte but single-width).
+fn disp_width(s: &str) -> usize {
+    s.chars().count()
+}
+
+fn row(cells: &[String], widths: &[usize]) -> String {
+    let mut s = String::from("|");
+    for (c, w) in cells.iter().zip(widths) {
+        let pad = w.saturating_sub(disp_width(c));
+        s.push(' ');
+        s.push_str(c);
+        s.push_str(&" ".repeat(pad));
+        s.push_str(" |");
+    }
+    s
+}
+
+/// Render the dataset-granularity dashboard: one row per (group, method)
+/// with `mean ± std` cells — the layout of the paper's Tables 1-3 merged.
+pub fn render_summary_table(summaries: &[GroupSummary]) -> String {
+    let header = ["Group", "Method", "Accuracy", "IOU", "Dice", "N"];
+    let rows: Vec<Vec<String>> = summaries
+        .iter()
+        .map(|s| {
+            vec![
+                s.group.clone(),
+                s.method.clone(),
+                s.accuracy.cell(),
+                s.iou.cell(),
+                s.dice.cell(),
+                s.n_samples.to_string(),
+            ]
+        })
+        .collect();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in &rows {
+        for (i, c) in r.iter().enumerate() {
+            widths[i] = widths[i].max(disp_width(c));
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&hline(&widths));
+    out.push('\n');
+    out.push_str(&row(
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&hline(&widths));
+    out.push('\n');
+    for r in &rows {
+        out.push_str(&row(r, &widths));
+        out.push('\n');
+    }
+    out.push_str(&hline(&widths));
+    out.push('\n');
+    out
+}
+
+/// Render the per-sample dashboard (individual granularity).
+pub fn render_sample_table(eval: &DatasetEval) -> String {
+    let header = ["Sample", "Group", "Method", "Acc", "IOU", "Dice", "ms"];
+    let rows: Vec<Vec<String>> = eval
+        .samples
+        .iter()
+        .map(|s| {
+            vec![
+                s.sample_id.clone(),
+                s.group.clone(),
+                s.method.clone(),
+                format!("{:.3}", s.scores.accuracy),
+                format!("{:.3}", s.scores.iou),
+                format!("{:.3}", s.scores.dice),
+                format!("{:.1}", s.elapsed_ms),
+            ]
+        })
+        .collect();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in &rows {
+        for (i, c) in r.iter().enumerate() {
+            widths[i] = widths[i].max(disp_width(c));
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&hline(&widths));
+    out.push('\n');
+    out.push_str(&row(
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&hline(&widths));
+    out.push('\n');
+    for r in &rows {
+        out.push_str(&row(r, &widths));
+        out.push('\n');
+    }
+    out.push_str(&hline(&widths));
+    out.push('\n');
+    out
+}
+
+/// CSV export of per-sample records.
+pub fn to_csv(eval: &DatasetEval) -> String {
+    let mut out =
+        String::from("sample_id,group,method,accuracy,iou,dice,precision,recall,elapsed_ms\n");
+    for s in &eval.samples {
+        out.push_str(&format!(
+            "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.3}\n",
+            s.sample_id,
+            s.group,
+            s.method,
+            s.scores.accuracy,
+            s.scores.iou,
+            s.scores.dice,
+            s.scores.precision,
+            s.scores.recall,
+            s.elapsed_ms
+        ));
+    }
+    out
+}
+
+/// JSON export of the full evaluation (samples + summaries).
+pub fn to_json(eval: &DatasetEval) -> String {
+    #[derive(serde::Serialize)]
+    struct Export<'a> {
+        samples: &'a DatasetEval,
+        summaries: Vec<GroupSummary>,
+    }
+    serde_json::to_string_pretty(&Export {
+        samples: eval,
+        summaries: eval.summarize(),
+    })
+    .expect("eval serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::SampleEval;
+    use crate::confusion::Scores;
+
+    fn eval() -> DatasetEval {
+        let mut ev = DatasetEval::new();
+        for (i, (g, m, acc, iou)) in [
+            ("Crystalline", "Otsu", 0.586, 0.161),
+            ("Crystalline", "Zenesis", 0.987, 0.857),
+            ("Amorphous", "Zenesis", 0.947, 0.858),
+        ]
+        .iter()
+        .enumerate()
+        {
+            ev.push(SampleEval {
+                sample_id: format!("s{i}"),
+                group: g.to_string(),
+                method: m.to_string(),
+                scores: Scores {
+                    accuracy: *acc,
+                    iou: *iou,
+                    dice: 2.0 * iou / (1.0 + iou),
+                    precision: 0.9,
+                    recall: 0.9,
+                    specificity: 0.9,
+                    mcc: 0.8,
+                },
+                elapsed_ms: 12.5,
+            });
+        }
+        ev
+    }
+
+    #[test]
+    fn summary_table_contains_cells() {
+        let ev = eval();
+        let table = render_summary_table(&ev.summarize());
+        assert!(table.contains("Crystalline"));
+        assert!(table.contains("Zenesis"));
+        assert!(table.contains("0.987±0.000"));
+        assert!(table.contains("| Group"));
+        // Rectangular: all lines equal length.
+        // Rectangular in display characters:
+        let char_lens: Vec<usize> = table.lines().map(|l| l.chars().count()).collect();
+        assert!(char_lens.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn sample_table_lists_every_sample() {
+        let ev = eval();
+        let table = render_sample_table(&ev);
+        for s in &ev.samples {
+            assert!(table.contains(&s.sample_id));
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let ev = eval();
+        let csv = to_csv(&ev);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("sample_id,"));
+        assert!(lines[1].contains("Otsu"));
+    }
+
+    #[test]
+    fn json_parses_back() {
+        let ev = eval();
+        let json = to_json(&ev);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["samples"]["samples"].as_array().unwrap().len(), 3);
+        assert_eq!(v["summaries"].as_array().unwrap().len(), 3);
+    }
+}

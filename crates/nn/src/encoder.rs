@@ -1,0 +1,258 @@
+//! Patch-embedding encoders: a ViT-style global-attention encoder (SAM's
+//! image-encoder family) and a Swin-style windowed-attention stage
+//! (GroundingDINO's backbone family).
+
+use zenesis_image::Image;
+use zenesis_tensor::Matrix;
+
+use crate::attention::TransformerBlock;
+use crate::position::sinusoidal_2d;
+
+/// Non-overlapping patch embedding: each `patch x patch` tile of a
+/// grayscale image becomes one token via a seeded linear projection.
+#[derive(Debug, Clone)]
+pub struct PatchEmbed {
+    pub patch: usize,
+    pub dim: usize,
+    proj: Matrix,
+}
+
+impl PatchEmbed {
+    pub fn new(patch: usize, dim: usize, seed: u64) -> Self {
+        assert!(patch > 0 && dim > 0);
+        let in_dim = patch * patch;
+        PatchEmbed {
+            patch,
+            dim,
+            proj: Matrix::seeded_uniform(in_dim, dim, (1.0 / in_dim as f32).sqrt(), seed),
+        }
+    }
+
+    /// Tokenize an image. Returns `(tokens, grid_w, grid_h)`; partial
+    /// bottom/right patches are zero-padded.
+    pub fn forward(&self, img: &Image<f32>) -> (Matrix, usize, usize) {
+        let (w, h) = img.dims();
+        let gw = w.div_ceil(self.patch);
+        let gh = h.div_ceil(self.patch);
+        let p = self.patch;
+        let raw = Matrix::from_fn(gw * gh, p * p, |t, c| {
+            let (gx, gy) = (t % gw, t / gw);
+            let (px, py) = (c % p, c / p);
+            let (x, y) = (gx * p + px, gy * p + py);
+            img.try_get(x, y).unwrap_or(0.0)
+        });
+        (raw.matmul(&self.proj), gw, gh)
+    }
+}
+
+/// ViT-style encoder: patch embed + positional encoding + N global
+/// transformer blocks. This is the architecture shape of SAM's ViT-H
+/// image encoder, at surrogate scale.
+#[derive(Debug, Clone)]
+pub struct VitEncoder {
+    pub embed: PatchEmbed,
+    blocks: Vec<TransformerBlock>,
+}
+
+impl VitEncoder {
+    pub fn new(patch: usize, dim: usize, heads: usize, depth: usize, seed: u64) -> Self {
+        VitEncoder {
+            embed: PatchEmbed::new(patch, dim, seed),
+            blocks: (0..depth)
+                .map(|i| TransformerBlock::new(dim, heads, seed.wrapping_add(i as u64 * 1009)))
+                .collect(),
+        }
+    }
+
+    pub fn depth(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Encode an image into per-patch tokens. Returns `(tokens, gw, gh)`.
+    pub fn forward(&self, img: &Image<f32>) -> (Matrix, usize, usize) {
+        let (tokens, gw, gh) = self.embed.forward(img);
+        let pe = sinusoidal_2d(gw, gh, self.embed.dim);
+        let mut x = tokens.add(&pe);
+        for blk in &self.blocks {
+            x = blk.forward(&x);
+        }
+        (x, gw, gh)
+    }
+}
+
+/// One Swin-style stage: transformer blocks whose attention is restricted
+/// to non-overlapping `window x window` patch windows (linear rather than
+/// quadratic in token count) — the Swin-T backbone shape GroundingDINO uses.
+#[derive(Debug, Clone)]
+pub struct SwinStage {
+    pub window: usize,
+    pub dim: usize,
+    blocks: Vec<TransformerBlock>,
+}
+
+impl SwinStage {
+    pub fn new(window: usize, dim: usize, heads: usize, depth: usize, seed: u64) -> Self {
+        assert!(window > 0);
+        SwinStage {
+            window,
+            dim,
+            blocks: (0..depth)
+                .map(|i| TransformerBlock::new(dim, heads, seed.wrapping_add(i as u64 * 7717)))
+                .collect(),
+        }
+    }
+
+    /// Forward over a `gw x gh` token grid (row-major rows of `tokens`).
+    /// Alternating blocks shift the window grid by half a window, the Swin
+    /// trick that lets information cross window borders.
+    pub fn forward(&self, tokens: &Matrix, gw: usize, gh: usize) -> Matrix {
+        assert_eq!(tokens.rows(), gw * gh, "token grid mismatch");
+        let mut x = tokens.clone();
+        for (i, blk) in self.blocks.iter().enumerate() {
+            let shift = if i % 2 == 1 { self.window / 2 } else { 0 };
+            x = self.windowed_block(blk, &x, gw, gh, shift);
+        }
+        x
+    }
+
+    fn windowed_block(
+        &self,
+        blk: &TransformerBlock,
+        x: &Matrix,
+        gw: usize,
+        gh: usize,
+        shift: usize,
+    ) -> Matrix {
+        let win = self.window;
+        let wx = gw.div_ceil(win);
+        let wy = gh.div_ceil(win);
+        let n_windows = wx * wy;
+        // Process windows independently (and in parallel): gather the
+        // window's tokens, run the block, scatter back.
+        let results: Vec<(Vec<usize>, Matrix)> = zenesis_par::par_map_range(n_windows, |wi| {
+            let (wxi, wyi) = (wi % wx, wi / wx);
+            let mut idxs = Vec::with_capacity(win * win);
+            for dy in 0..win {
+                for dx in 0..win {
+                    // Cyclic shift (wrap), as in Swin.
+                    let gx = (wxi * win + dx + shift) % gw;
+                    let gy = (wyi * win + dy + shift) % gh;
+                    if wxi * win + dx < gw && wyi * win + dy < gh {
+                        idxs.push(gy * gw + gx);
+                    }
+                }
+            }
+            let sub = Matrix::from_fn(idxs.len(), self.dim, |r, c| x.get(idxs[r], c));
+            (idxs, blk.forward(&sub))
+        });
+        let mut out = Matrix::zeros(gw * gh, self.dim);
+        for (idxs, sub) in results {
+            for (r, &tok) in idxs.iter().enumerate() {
+                for c in 0..self.dim {
+                    out.set(tok, c, sub.get(r, c));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patch_embed_grid_shape() {
+        let pe = PatchEmbed::new(8, 16, 1);
+        let img = Image::<f32>::zeros(33, 17); // forces padding
+        let (tokens, gw, gh) = pe.forward(&img);
+        assert_eq!((gw, gh), (5, 3));
+        assert_eq!(tokens.rows(), 15);
+        assert_eq!(tokens.cols(), 16);
+    }
+
+    #[test]
+    fn patch_embed_distinguishes_content() {
+        let pe = PatchEmbed::new(4, 8, 2);
+        let dark = Image::<f32>::filled(8, 4, 0.0);
+        let bright = Image::<f32>::from_fn(8, 4, |x, _| if x < 4 { 0.0 } else { 1.0 });
+        let (t1, _, _) = pe.forward(&dark);
+        let (t2, _, _) = pe.forward(&bright);
+        // First patch identical, second differs.
+        for c in 0..8 {
+            assert!((t1.get(0, c) - t2.get(0, c)).abs() < 1e-6);
+        }
+        let diff: f32 = (0..8).map(|c| (t1.get(1, c) - t2.get(1, c)).abs()).sum();
+        assert!(diff > 1e-3);
+    }
+
+    #[test]
+    fn vit_forward_shape_and_determinism() {
+        let vit = VitEncoder::new(8, 16, 2, 2, 42);
+        let img = Image::<f32>::from_fn(32, 32, |x, y| ((x * y) % 7) as f32 / 6.0);
+        let (a, gw, gh) = vit.forward(&img);
+        assert_eq!((gw, gh), (4, 4));
+        assert_eq!((a.rows(), a.cols()), (16, 16));
+        let (b, _, _) = vit.forward(&img);
+        assert_eq!(a, b);
+        assert!(a.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn vit_positional_encoding_breaks_symmetry() {
+        // Uniform image: all patch contents identical, so any token
+        // difference comes from position.
+        let vit = VitEncoder::new(8, 16, 2, 1, 3);
+        let img = Image::<f32>::filled(32, 32, 0.5);
+        let (t, _, _) = vit.forward(&img);
+        let diff: f32 = t
+            .row(0)
+            .iter()
+            .zip(t.row(5))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-4, "positional encoding should differentiate tokens");
+    }
+
+    #[test]
+    fn swin_forward_preserves_shape() {
+        let stage = SwinStage::new(2, 16, 2, 2, 9);
+        let tokens = Matrix::seeded_uniform(24, 16, 1.0, 10);
+        let out = stage.forward(&tokens, 6, 4);
+        assert_eq!((out.rows(), out.cols()), (24, 16));
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn swin_windows_are_local_without_shift() {
+        // Depth 1 (no shifted block): tokens in different windows cannot
+        // influence each other. Perturb a token in window (0,0) and check
+        // a token in window (1,1) is unchanged.
+        let stage = SwinStage::new(2, 8, 2, 1, 21);
+        let base = Matrix::seeded_uniform(16, 8, 1.0, 22);
+        let mut pert = base.clone();
+        pert.set(0, 0, pert.get(0, 0) + 10.0); // token (0,0)
+        let a = stage.forward(&base, 4, 4);
+        let b = stage.forward(&pert, 4, 4);
+        // Token (3,3) = index 15 lives in a different 2x2 window.
+        for c in 0..8 {
+            assert!((a.get(15, c) - b.get(15, c)).abs() < 1e-6);
+        }
+        // While a token in the same window does change.
+        let same_window_diff: f32 = (0..8).map(|c| (a.get(1, c) - b.get(1, c)).abs()).sum();
+        assert!(same_window_diff > 1e-4);
+    }
+
+    #[test]
+    fn swin_shifted_blocks_mix_across_windows() {
+        // Depth 2 (second block shifted): influence crosses borders.
+        let stage = SwinStage::new(2, 8, 2, 2, 23);
+        let base = Matrix::seeded_uniform(16, 8, 1.0, 24);
+        let mut pert = base.clone();
+        pert.set(0, 0, pert.get(0, 0) + 10.0);
+        let a = stage.forward(&base, 4, 4);
+        let b = stage.forward(&pert, 4, 4);
+        let far_diff: f32 = (0..8).map(|c| (a.get(15, c) - b.get(15, c)).abs()).sum();
+        assert!(far_diff > 1e-6, "shifted windows should propagate influence");
+    }
+}

@@ -1,0 +1,28 @@
+//! # zenesis-nn
+//!
+//! Transformer building blocks used by the Zenesis foundation-model
+//! surrogates: scaled-dot-product attention exactly as the paper's Eq. (1)
+//!
+//! ```text
+//! Attention(Q, K, V) = softmax(Q K^T / sqrt(d)) V
+//! ```
+//!
+//! plus multi-head attention, the pre-norm transformer block, sinusoidal
+//! positional encodings, a ViT-style patch-embedding encoder, and a
+//! Swin-style windowed-attention encoder (GroundingDINO's backbone family).
+//!
+//! ## Weights
+//!
+//! There are no pretrained weights in this reproduction (see DESIGN.md §2).
+//! All projections are deterministic seeded initializations; the *semantic*
+//! content of the pipeline comes from the hand-crafted feature channels in
+//! `zenesis-ground`, while these blocks provide the real compute the
+//! benchmarks measure and the mixing the cross-modal attention needs.
+
+mod attention;
+mod encoder;
+mod position;
+
+pub use attention::{attention, attention_weights, MultiHeadAttention, TransformerBlock};
+pub use encoder::{PatchEmbed, SwinStage, VitEncoder};
+pub use position::sinusoidal_2d;

@@ -1,0 +1,72 @@
+//! Sinusoidal positional encodings for 2-D patch grids.
+
+use zenesis_tensor::Matrix;
+
+/// Fixed 2-D sinusoidal positional encoding for a `gw x gh` patch grid,
+/// `dim` channels (half encode x, half encode y). Rows are grid cells in
+/// row-major order.
+pub fn sinusoidal_2d(gw: usize, gh: usize, dim: usize) -> Matrix {
+    assert!(dim >= 4 && dim.is_multiple_of(4), "dim must be a multiple of 4");
+    let quarter = dim / 4;
+    Matrix::from_fn(gw * gh, dim, |idx, c| {
+        let (x, y) = ((idx % gw) as f32, (idx / gw) as f32);
+        let (axis_pos, k) = if c < dim / 2 {
+            (x, c)
+        } else {
+            (y, c - dim / 2)
+        };
+        let pair = k / 2;
+        let freq = 1.0f32 / 10000f32.powf(pair as f32 / quarter as f32);
+        if k % 2 == 0 {
+            (axis_pos * freq).sin()
+        } else {
+            (axis_pos * freq).cos()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_bounds() {
+        let pe = sinusoidal_2d(7, 5, 16);
+        assert_eq!((pe.rows(), pe.cols()), (35, 16));
+        assert!(pe.as_slice().iter().all(|v| v.abs() <= 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn distinct_positions_distinct_codes() {
+        let pe = sinusoidal_2d(8, 8, 32);
+        // Compare a few pairs of distinct grid cells.
+        for (a, b) in [(0usize, 1usize), (0, 8), (10, 53), (7, 56)] {
+            let diff: f32 = pe
+                .row(a)
+                .iter()
+                .zip(pe.row(b))
+                .map(|(x, y)| (x - y).abs())
+                .sum();
+            assert!(diff > 1e-3, "positions {a} and {b} collide");
+        }
+    }
+
+    #[test]
+    fn x_channels_constant_along_y() {
+        let pe = sinusoidal_2d(4, 4, 16);
+        // First half of channels depends only on x.
+        for c in 0..8 {
+            assert!((pe.get(1, c) - pe.get(1 + 4, c)).abs() < 1e-6);
+        }
+        // Second half depends only on y.
+        for c in 8..16 {
+            assert!((pe.get(1, c) - pe.get(2, c)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn dim_must_be_multiple_of_four() {
+        let _ = sinusoidal_2d(4, 4, 10);
+    }
+}

@@ -1,0 +1,69 @@
+//! Two-way fork-join, the primitive rayon calls `join`.
+//!
+//! `join(a, b)` runs both closures, potentially in parallel (b on a scoped
+//! worker thread while a runs on the caller), and returns both results.
+//! With the global thread count at 1 it degrades to sequential calls.
+
+use crate::config::current_threads;
+
+/// Run two independent closures, in parallel when workers are available.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("join closure panicked");
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ThreadsGuard;
+
+    #[test]
+    fn returns_both_results() {
+        let (a, b) = join(|| 6 * 7, || "hi".to_string());
+        assert_eq!(a, 42);
+        assert_eq!(b, "hi");
+    }
+
+    #[test]
+    fn borrows_from_caller() {
+        let data = [1, 2, 3, 4];
+        let (sum, max) = join(
+            || data.iter().sum::<i32>(),
+            || *data.iter().max().unwrap(),
+        );
+        assert_eq!(sum, 10);
+        assert_eq!(max, 4);
+    }
+
+    #[test]
+    fn sequential_at_one_thread() {
+        let _g = ThreadsGuard::new(1);
+        let main_id = std::thread::current().id();
+        let (ida, idb) = join(
+            || std::thread::current().id(),
+            || std::thread::current().id(),
+        );
+        assert_eq!(ida, main_id);
+        assert_eq!(idb, main_id);
+    }
+
+    #[test]
+    #[should_panic]
+    fn panic_propagates() {
+        let _g = ThreadsGuard::new(4);
+        let _ = join(|| 1, || panic!("boom"));
+    }
+}

@@ -1,0 +1,50 @@
+//! # zenesis-par
+//!
+//! A small, from-scratch parallel runtime used by every compute stage of the
+//! Zenesis pipeline (image kernels, transformer arithmetic, batch slice
+//! processing).
+//!
+//! The design follows the patterns in *Rust Atomics and Locks* and the Rayon
+//! README: data-parallel chunked self-scheduling over scoped threads, so that
+//! parallel results are guaranteed to equal their sequential counterparts,
+//! plus a persistent [`ThreadPool`] for fire-and-forget jobs.
+//!
+//! The entry points most code uses are the free functions:
+//!
+//! * [`par_for_each`] / [`par_for_each_indexed`] — run a closure over
+//!   `&mut [T]` chunks in parallel.
+//! * [`par_map`] — map a slice to a new `Vec` in parallel, preserving order.
+//! * [`par_map_range`] — map an index range `0..n` to a `Vec` in parallel.
+//! * [`par_reduce_range`] — map-reduce over an index range.
+//! * [`par_rows`] — process disjoint row-chunks of a flat 2-D buffer.
+//!
+//! Thread count is controlled globally via [`set_threads`] (or the
+//! `ZENESIS_THREADS` environment variable) so benchmarks can sweep scaling.
+
+mod config;
+mod join;
+mod pool;
+mod progress;
+mod scope;
+
+pub use config::{available_parallelism, current_threads, set_threads, ThreadsGuard};
+pub use join::join;
+pub use pool::ThreadPool;
+pub use progress::Progress;
+pub use scope::{
+    chunk_len, par_for_each, par_for_each_indexed, par_map, par_map_range, par_reduce_range,
+    par_rows,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_map_matches_sequential() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let seq: Vec<u64> = v.iter().map(|x| x * x + 1).collect();
+        let par = par_map(&v, |x| x * x + 1);
+        assert_eq!(seq, par);
+    }
+}

@@ -1,0 +1,172 @@
+//! A persistent thread pool for fire-and-forget jobs.
+//!
+//! The scoped helpers in [`crate::scope`] spawn threads per call, which is
+//! fine for long kernels but wasteful for many small independent jobs (e.g.
+//! per-slice pipeline stages in Mode B). `ThreadPool` keeps workers alive,
+//! fed from a crossbeam MPMC channel, with a [`ThreadPool::wait_idle`]
+//! barrier built from a mutex + condvar (the classic pattern from *Rust
+//! Atomics and Locks*, using parking_lot primitives).
+
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    pending: Mutex<usize>,
+    idle: Condvar,
+}
+
+/// A fixed-size pool of worker threads executing boxed jobs.
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `n` workers (clamped below by 1).
+    pub fn new(n: usize) -> Self {
+        let n = n.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        let shared = Arc::new(Shared {
+            pending: Mutex::new(0),
+            idle: Condvar::new(),
+        });
+        let mut workers = Vec::with_capacity(n);
+        for i in 0..n {
+            let rx = rx.clone();
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("zenesis-worker-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job();
+                        let mut pending = shared.pending.lock();
+                        *pending -= 1;
+                        if *pending == 0 {
+                            shared.idle.notify_all();
+                        }
+                    }
+                })
+                .expect("failed to spawn pool worker");
+            workers.push(handle);
+        }
+        ThreadPool {
+            tx: Some(tx),
+            workers,
+            shared,
+        }
+    }
+
+    /// Pool sized to the current global thread configuration.
+    pub fn with_current_threads() -> Self {
+        Self::new(crate::config::current_threads())
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a job for asynchronous execution.
+    pub fn execute<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        {
+            let mut pending = self.shared.pending.lock();
+            *pending += 1;
+        }
+        self.tx
+            .as_ref()
+            .expect("pool shut down")
+            .send(Box::new(job))
+            .expect("pool workers gone");
+    }
+
+    /// Block until every submitted job has finished.
+    pub fn wait_idle(&self) {
+        let mut pending = self.shared.pending.lock();
+        while *pending != 0 {
+            self.shared.idle.wait(&mut pending);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Close the channel so workers exit their recv loop, then join.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..1000 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn wait_idle_on_empty_pool_returns() {
+        let pool = ThreadPool::new(2);
+        pool.wait_idle();
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(3);
+            for _ in 0..50 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait_idle();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn zero_workers_clamped() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn reusable_across_batches() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _batch in 0..5 {
+            for _ in 0..20 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait_idle();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+}

@@ -1,0 +1,100 @@
+//! Lock-free progress reporting for long batch jobs (Mode B).
+//!
+//! Workers bump a relaxed atomic counter; an observer thread (or the UI
+//! layer in the paper's platform) reads a consistent fraction without any
+//! synchronization cost on the hot path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Shared work-completion counter with a known total.
+#[derive(Debug)]
+pub struct Progress {
+    done: AtomicUsize,
+    total: usize,
+}
+
+impl Progress {
+    /// Create a tracker expecting `total` units of work.
+    pub fn new(total: usize) -> Self {
+        Progress {
+            done: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    /// Record `n` completed units. Relaxed: only the count matters, no data
+    /// is published through this counter.
+    pub fn add(&self, n: usize) {
+        self.done.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one completed unit.
+    pub fn tick(&self) {
+        self.add(1);
+    }
+
+    /// Units completed so far.
+    pub fn done(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Total units expected.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Completion in `[0, 1]`; a zero-total job reads as complete.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            (self.done().min(self.total)) as f64 / self.total as f64
+        }
+    }
+
+    /// True once `done >= total`.
+    pub fn is_complete(&self) -> bool {
+        self.done() >= self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fraction_bounds() {
+        let p = Progress::new(10);
+        assert_eq!(p.fraction(), 0.0);
+        p.add(5);
+        assert!((p.fraction() - 0.5).abs() < 1e-12);
+        p.add(10); // overshoot clamps
+        assert_eq!(p.fraction(), 1.0);
+        assert!(p.is_complete());
+    }
+
+    #[test]
+    fn zero_total_is_complete() {
+        let p = Progress::new(0);
+        assert_eq!(p.fraction(), 1.0);
+        assert!(p.is_complete());
+    }
+
+    #[test]
+    fn concurrent_ticks_all_counted() {
+        let p = Arc::new(Progress::new(8 * 1000));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let p = Arc::clone(&p);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        p.tick();
+                    }
+                });
+            }
+        });
+        assert_eq!(p.done(), 8000);
+        assert!(p.is_complete());
+    }
+}

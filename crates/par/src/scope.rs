@@ -1,0 +1,329 @@
+//! Scoped, chunked, self-scheduling data parallelism.
+//!
+//! Every function here follows the same pattern: the index space `0..n` is
+//! split into chunks; worker threads claim chunks by bumping a shared atomic
+//! counter (dynamic scheduling, so uneven per-item cost balances out); output
+//! written through disjoint `&mut` slices so results are identical to the
+//! sequential order. `std::thread::scope` lets the closures borrow from the
+//! caller without `'static` bounds, and propagates worker panics.
+
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::config::current_threads;
+
+/// Chunk length heuristic: enough chunks for dynamic load balancing
+/// (~4 per worker) but not so many that the atomic counter contends.
+pub fn chunk_len(n: usize, workers: usize) -> usize {
+    if n == 0 {
+        return 1;
+    }
+    let target_chunks = workers.max(1) * 4;
+    (n.div_ceil(target_chunks)).max(1)
+}
+
+/// Run `f` over every element of `data` in parallel, mutating in place.
+pub fn par_for_each<T, F>(data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    par_for_each_indexed(data, |_, v| f(v));
+}
+
+/// Like [`par_for_each`] but the closure also receives the element index.
+pub fn par_for_each_indexed<T, F>(data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = data.len();
+    let workers = current_threads();
+    if workers <= 1 || n < 2 {
+        for (i, v) in data.iter_mut().enumerate() {
+            f(i, v);
+        }
+        return;
+    }
+    let chunk = chunk_len(n, workers);
+    let n_chunks = n.div_ceil(chunk);
+    let next = AtomicUsize::new(0);
+    // Pre-split into disjoint chunks so each worker only touches its claim.
+    let chunks: Vec<&mut [T]> = data.chunks_mut(chunk).collect();
+    let slots: Vec<parking_lot::Mutex<Option<&mut [T]>>> = chunks
+        .into_iter()
+        .map(|c| parking_lot::Mutex::new(Some(c)))
+        .collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(n_chunks) {
+            s.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let slice = slots[c].lock().take().expect("chunk claimed twice");
+                let base = c * chunk;
+                for (off, v) in slice.iter_mut().enumerate() {
+                    f(base + off, v);
+                }
+            });
+        }
+    });
+}
+
+/// Map `items` to a new `Vec`, preserving order, in parallel.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_range(items.len(), |i| f(&items[i]))
+}
+
+/// Map the index range `0..n` to a `Vec` in parallel, preserving order.
+///
+/// This is the workhorse primitive: rows of an image, slices of a volume,
+/// attention heads — anything indexable maps through here.
+pub fn par_map_range<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = current_threads();
+    if workers <= 1 || n < 2 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = chunk_len(n, workers);
+    let n_chunks = n.div_ceil(chunk);
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<MaybeUninit<U>> = Vec::with_capacity(n);
+    // SAFETY: every slot is written exactly once below before assume_init.
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(n);
+    }
+    {
+        let out_slots: Vec<parking_lot::Mutex<Option<&mut [MaybeUninit<U>]>>> = out
+            .chunks_mut(chunk)
+            .map(|c| parking_lot::Mutex::new(Some(c)))
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers.min(n_chunks) {
+                s.spawn(|| loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let slice = out_slots[c].lock().take().expect("chunk claimed twice");
+                    let base = c * chunk;
+                    for (off, slot) in slice.iter_mut().enumerate() {
+                        slot.write(f(base + off));
+                    }
+                });
+            }
+        });
+        // If a worker panicked, scope() already propagated it; reaching here
+        // means all n slots are initialized. (On the panic path the
+        // MaybeUninit buffer drops without dropping initialized elements:
+        // they leak rather than double-drop — safe, and acceptable because
+        // a propagated panic is already fatal to the computation.)
+    }
+    // SAFETY: all elements initialized (scope joined all workers; each chunk
+    // fully written by exactly one worker).
+    unsafe {
+        let mut out = std::mem::ManuallyDrop::new(out);
+        Vec::from_raw_parts(out.as_mut_ptr() as *mut U, n, out.capacity())
+    }
+}
+
+/// Parallel map-reduce over `0..n`: `fold` each index into a per-worker
+/// accumulator starting from `identity()`, then `combine` the accumulators.
+///
+/// `combine` must be associative and `identity` a true identity for the
+/// result to be independent of scheduling; a proptest enforces this for the
+/// reductions used in-tree.
+pub fn par_reduce_range<A, F, C, I>(n: usize, identity: I, fold: F, combine: C) -> A
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, usize) -> A + Sync,
+    C: Fn(A, A) -> A + Sync,
+{
+    let workers = current_threads();
+    if workers <= 1 || n < 2 {
+        return (0..n).fold(identity(), fold);
+    }
+    let chunk = chunk_len(n, workers);
+    let n_chunks = n.div_ceil(chunk);
+    let next = AtomicUsize::new(0);
+    let partials = parking_lot::Mutex::new(Vec::with_capacity(workers));
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(n_chunks) {
+            s.spawn(|| {
+                let mut acc = identity();
+                let mut did_work = false;
+                loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    did_work = true;
+                    let lo = c * chunk;
+                    let hi = (lo + chunk).min(n);
+                    for i in lo..hi {
+                        acc = fold(acc, i);
+                    }
+                }
+                if did_work {
+                    partials.lock().push(acc);
+                }
+            });
+        }
+    });
+    partials
+        .into_inner()
+        .into_iter()
+        .fold(identity(), combine)
+}
+
+/// Process a flat row-major 2-D buffer (`rows` rows of `row_len` elements)
+/// in parallel, handing each worker call a disjoint band of full rows.
+///
+/// `f(row_start, band)` where `band` covers rows `row_start..row_start+k`.
+pub fn par_rows<T, F>(data: &mut [T], row_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(row_len > 0, "row_len must be positive");
+    assert_eq!(data.len() % row_len, 0, "buffer not a whole number of rows");
+    let rows = data.len() / row_len;
+    let workers = current_threads();
+    if workers <= 1 || rows < 2 {
+        f(0, data);
+        return;
+    }
+    let rows_per_band = chunk_len(rows, workers);
+    let n_bands = rows.div_ceil(rows_per_band);
+    let next = AtomicUsize::new(0);
+    let bands: Vec<parking_lot::Mutex<Option<&mut [T]>>> = data
+        .chunks_mut(rows_per_band * row_len)
+        .map(|c| parking_lot::Mutex::new(Some(c)))
+        .collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(n_bands) {
+            s.spawn(|| loop {
+                let b = next.fetch_add(1, Ordering::Relaxed);
+                if b >= n_bands {
+                    break;
+                }
+                let band = bands[b].lock().take().expect("band claimed twice");
+                f(b * rows_per_band, band);
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ThreadsGuard;
+
+    #[test]
+    fn map_range_order_preserved() {
+        let v = par_map_range(1000, |i| i * 3);
+        assert_eq!(v, (0..1000).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_empty_and_single() {
+        assert!(par_map_range(0, |i| i).is_empty());
+        assert_eq!(par_map_range(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn for_each_indexed_touches_every_element_once() {
+        let mut v = vec![0u32; 4099];
+        par_for_each_indexed(&mut v, |i, x| *x += i as u32 + 1);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn reduce_sum_matches() {
+        let n = 12345usize;
+        let s = par_reduce_range(n, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+        assert_eq!(s, (n as u64 - 1) * n as u64 / 2);
+    }
+
+    #[test]
+    fn reduce_empty_is_identity() {
+        let s = par_reduce_range(0, || 42u64, |a, i| a + i as u64, |a, b| a + b);
+        assert_eq!(s, 42);
+    }
+
+    #[test]
+    fn rows_bands_are_disjoint_and_complete() {
+        let row_len = 17;
+        let rows = 57;
+        let mut buf = vec![0u8; row_len * rows];
+        par_rows(&mut buf, row_len, |row_start, band| {
+            for (r, row) in band.chunks_mut(row_len).enumerate() {
+                for v in row.iter_mut() {
+                    *v = ((row_start + r) % 251) as u8;
+                }
+            }
+        });
+        for (r, row) in buf.chunks(row_len).enumerate() {
+            assert!(row.iter().all(|&v| v == (r % 251) as u8));
+        }
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let _g = ThreadsGuard::new(1);
+        let main_id = std::thread::current().id();
+        let ids = par_map_range(8, |_| std::thread::current().id());
+        assert!(ids.iter().all(|id| *id == main_id));
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let _ = par_map_range(64, |i| {
+            if i == 33 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn drop_types_do_not_leak_or_double_drop() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D(#[allow(dead_code)] usize);
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let _v = par_map_range(100, D);
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn chunk_len_sane() {
+        assert_eq!(chunk_len(0, 8), 1);
+        assert!(chunk_len(1, 8) >= 1);
+        assert!(chunk_len(1_000_000, 8) >= 1);
+        // at most ~4*workers chunks
+        let n: usize = 1000;
+        let w: usize = 4;
+        assert!(n.div_ceil(chunk_len(n, w)) <= 4 * w + 1);
+    }
+}

@@ -1,0 +1,322 @@
+//! The assembled promptable segmenter.
+
+use serde::{Deserialize, Serialize};
+use zenesis_image::{BitMask, Image};
+
+use crate::auto::{segment_auto, AutoConfig};
+use crate::decoder::{decode_box, decode_mask_prior, decode_points};
+use crate::embedding::ImageEmbedding;
+use crate::prompt::PromptSet;
+use crate::score::{quality_score, stability_score};
+
+/// Model-scale presets mirroring the SAM family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamVariant {
+    /// Full-quality decoding (the ViT-H analogue the paper deploys).
+    VitH,
+    /// FastSAM-like: single-tolerance multimask, coarser automatic grid.
+    FastSam,
+    /// MobileSAM-like: heavier smoothing, coarsest grid — cheapest.
+    MobileSam,
+}
+
+/// Segmenter configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamConfig {
+    pub variant: SamVariant,
+    /// Embedding denoise sigma.
+    pub encode_sigma: f32,
+    /// Step tolerance for region growing.
+    pub step_tol: f32,
+    /// Global tolerances for multimask output (low / medium / high).
+    pub tolerances: [f32; 3],
+    /// Box-prompt margin in pixels.
+    pub box_margin: usize,
+    /// Minimum component area kept by the box decoder.
+    pub min_area: usize,
+    /// Fill interior holes in box-decoded masks.
+    pub fill_holes: bool,
+    /// Automatic-mode grid step.
+    pub grid_step: usize,
+}
+
+impl Default for SamConfig {
+    fn default() -> Self {
+        SamConfig::for_variant(SamVariant::VitH)
+    }
+}
+
+impl SamConfig {
+    /// Preset for a model-scale variant.
+    pub fn for_variant(v: SamVariant) -> Self {
+        match v {
+            SamVariant::VitH => SamConfig {
+                variant: v,
+                encode_sigma: 1.0,
+                step_tol: 0.05,
+                tolerances: [0.08, 0.14, 0.22],
+                box_margin: 2,
+                min_area: 12,
+                fill_holes: true,
+                grid_step: 16,
+            },
+            SamVariant::FastSam => SamConfig {
+                variant: v,
+                encode_sigma: 1.2,
+                step_tol: 0.06,
+                tolerances: [0.14, 0.14, 0.14],
+                box_margin: 2,
+                min_area: 24,
+                fill_holes: true,
+                grid_step: 24,
+            },
+            SamVariant::MobileSam => SamConfig {
+                variant: v,
+                encode_sigma: 1.8,
+                step_tol: 0.08,
+                tolerances: [0.16, 0.16, 0.16],
+                box_margin: 3,
+                min_area: 32,
+                fill_holes: true,
+                grid_step: 32,
+            },
+        }
+    }
+
+    fn auto_config(&self) -> AutoConfig {
+        AutoConfig {
+            grid_step: self.grid_step,
+            step_tol: self.step_tol,
+            global_tol: self.tolerances[1],
+            min_area: self.min_area.max(16),
+            dedup_iou: 0.7,
+        }
+    }
+}
+
+/// One decoded mask with its quality estimates.
+#[derive(Debug, Clone)]
+pub struct MaskPrediction {
+    pub mask: BitMask,
+    /// Stability under decoder perturbation (SAM's stability score).
+    pub stability: f64,
+    /// Ranking score (predicted-IoU analogue).
+    pub quality: f64,
+    /// Which tolerance level produced it (0 = tightest).
+    pub level: usize,
+}
+
+/// The promptable segmenter. Encode once, decode many prompts.
+pub struct Sam {
+    pub config: SamConfig,
+}
+
+impl Sam {
+    pub fn new(config: SamConfig) -> Self {
+        Sam { config }
+    }
+
+    /// Encode an adapted image (the expensive pass, done once per image).
+    pub fn encode(&self, img: &Image<f32>) -> ImageEmbedding {
+        ImageEmbedding::encode(img, self.config.encode_sigma)
+    }
+
+    /// Decode a prompt set into multimask predictions, best first.
+    ///
+    /// Empty prompt sets produce no predictions (SAM requires a prompt;
+    /// "everything" mode is [`Sam::segment_auto`]).
+    pub fn predict(&self, emb: &ImageEmbedding, prompts: &PromptSet) -> Vec<MaskPrediction> {
+        if prompts.is_empty() {
+            return Vec::new();
+        }
+        let bbox = prompts.box_constraint();
+        let fg = prompts.fg_points();
+        let bg = prompts.bg_points();
+        let prior = prompts.mask_prior();
+
+        let mut preds: Vec<MaskPrediction> = Vec::new();
+        if let Some(b) = bbox {
+            if fg.is_empty() && prior.is_none() {
+                // Pure box prompt: in-box statistics split.
+                let mask = decode_box(
+                    emb,
+                    b,
+                    self.config.box_margin,
+                    self.config.min_area,
+                    self.config.fill_holes,
+                    prompts.polarity == crate::prompt::Polarity::Bright,
+                );
+                let quality = quality_score(emb, &mask, 1.0);
+                preds.push(MaskPrediction {
+                    mask,
+                    stability: 1.0,
+                    quality,
+                    level: 1,
+                });
+                return preds;
+            }
+        }
+        if let Some(pr) = &prior {
+            let mask = decode_mask_prior(emb, pr, self.config.step_tol, self.config.tolerances[1]);
+            let quality = quality_score(emb, &mask, 1.0);
+            preds.push(MaskPrediction {
+                mask,
+                stability: 1.0,
+                quality,
+                level: 1,
+            });
+            return preds;
+        }
+        // Point path: multimask at three tolerances, optionally bounded.
+        for (level, &tol) in self.config.tolerances.iter().enumerate() {
+            let mask = decode_points(emb, &fg, &bg, self.config.step_tol, tol, bbox);
+            let stability = stability_score(emb, &fg, self.config.step_tol, tol);
+            let quality = quality_score(emb, &mask, stability);
+            preds.push(MaskPrediction {
+                mask,
+                stability,
+                quality,
+                level,
+            });
+        }
+        preds.sort_by(|a, b| b.quality.partial_cmp(&a.quality).expect("finite quality"));
+        preds
+    }
+
+    /// The best single mask for a prompt set (all-false if no prompts).
+    pub fn segment(&self, emb: &ImageEmbedding, prompts: &PromptSet) -> BitMask {
+        self.predict(emb, prompts)
+            .into_iter()
+            .next()
+            .map(|p| p.mask)
+            .unwrap_or_else(|| {
+                let (w, h) = emb.dims();
+                BitMask::new(w, h)
+            })
+    }
+
+    /// Automatic everything-mode, max-confidence selection — the
+    /// "SAM-only" baseline of the paper.
+    pub fn segment_auto(&self, emb: &ImageEmbedding) -> BitMask {
+        segment_auto(emb, &self.config.auto_config())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zenesis_image::{BoxRegion, Point};
+    use crate::prompt::{PointLabel, Prompt};
+
+    fn disk_image() -> Image<f32> {
+        Image::from_fn(64, 64, |x, y| {
+            let dx = x as f32 - 32.0;
+            let dy = y as f32 - 32.0;
+            if dx * dx + dy * dy < 14.0 * 14.0 {
+                0.8
+            } else {
+                0.1
+            }
+        })
+    }
+
+    fn disk_truth() -> BitMask {
+        BitMask::from_fn(64, 64, |x, y| {
+            let dx = x as f32 - 32.0;
+            let dy = y as f32 - 32.0;
+            dx * dx + dy * dy < 14.0 * 14.0
+        })
+    }
+
+    #[test]
+    fn point_prompt_multimask() {
+        let sam = Sam::new(SamConfig::default());
+        let emb = sam.encode(&disk_image());
+        let preds = sam.predict(&emb, &PromptSet::point(32, 32));
+        assert_eq!(preds.len(), 3);
+        let best = &preds[0];
+        assert!(best.mask.iou(&disk_truth()) > 0.8);
+        assert!(best.quality >= preds[1].quality);
+    }
+
+    #[test]
+    fn box_prompt_segments_object() {
+        let sam = Sam::new(SamConfig::default());
+        let emb = sam.encode(&disk_image());
+        let ps = PromptSet::from_box(BoxRegion::new(16, 16, 48, 48));
+        let m = sam.segment(&emb, &ps);
+        assert!(m.iou(&disk_truth()) > 0.8, "iou {}", m.iou(&disk_truth()));
+    }
+
+    #[test]
+    fn empty_prompts_empty_output() {
+        let sam = Sam::new(SamConfig::default());
+        let emb = sam.encode(&disk_image());
+        assert!(sam.predict(&emb, &PromptSet::new()).is_empty());
+        assert_eq!(sam.segment(&emb, &PromptSet::new()).count(), 0);
+    }
+
+    #[test]
+    fn point_inside_box_constrained() {
+        let sam = Sam::new(SamConfig::default());
+        let emb = sam.encode(&disk_image());
+        // Background point with a box: growth cannot escape the box.
+        let ps = PromptSet::point(2, 2).with(Prompt::Box(BoxRegion::new(0, 0, 16, 16)));
+        let m = sam.segment(&emb, &ps);
+        assert!(m.count() > 0);
+        for p in m.iter_true() {
+            assert!(p.x < 16 && p.y < 16);
+        }
+    }
+
+    #[test]
+    fn mask_prompt_refines() {
+        let sam = Sam::new(SamConfig::default());
+        let emb = sam.encode(&disk_image());
+        let prior = BitMask::from_box(64, 64, BoxRegion::new(26, 26, 38, 38));
+        let ps = PromptSet::from_mask(prior);
+        let m = sam.segment(&emb, &ps);
+        assert!(m.iou(&disk_truth()) > 0.6);
+    }
+
+    #[test]
+    fn bg_point_vetoes() {
+        let sam = Sam::new(SamConfig::default());
+        let emb = sam.encode(&disk_image());
+        let ps = PromptSet::point(32, 32)
+            .with(Prompt::Point(Point::new(2, 2), PointLabel::Background));
+        let m = sam.segment(&emb, &ps);
+        assert!(m.get(32, 32));
+        assert!(!m.get(2, 2));
+    }
+
+    #[test]
+    fn auto_mode_runs_and_picks_background() {
+        let sam = Sam::new(SamConfig::default());
+        let emb = sam.encode(&disk_image());
+        let m = sam.segment_auto(&emb);
+        assert!(m.coverage() > 0.5, "background should dominate");
+        assert!(!m.get(32, 32));
+    }
+
+    #[test]
+    fn variants_differ_in_cost_parameters() {
+        let full = SamConfig::for_variant(SamVariant::VitH);
+        let fast = SamConfig::for_variant(SamVariant::FastSam);
+        let mobile = SamConfig::for_variant(SamVariant::MobileSam);
+        assert!(full.grid_step < fast.grid_step);
+        assert!(fast.grid_step < mobile.grid_step);
+        assert!(full.encode_sigma < mobile.encode_sigma);
+        // FastSAM collapses multimask to a single tolerance.
+        assert_eq!(fast.tolerances[0], fast.tolerances[2]);
+        assert_ne!(full.tolerances[0], full.tolerances[2]);
+    }
+
+    #[test]
+    fn serde_config_roundtrip() {
+        let cfg = SamConfig::for_variant(SamVariant::FastSam);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SamConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the SAM surrogate's decoding invariants.
+
+use proptest::prelude::*;
+use zenesis_image::{BoxRegion, Image, Point};
+use zenesis_sam::decoder::{decode_box, region_grow};
+use zenesis_sam::{ImageEmbedding, Polarity, PromptSet, Sam, SamConfig};
+
+fn arb_image(side: usize) -> impl Strategy<Value = Image<f32>> {
+    prop::collection::vec(0.0f32..1.0, side * side)
+        .prop_map(move |v| Image::from_vec(side, side, v).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn grow_mask_contains_seed(img in arb_image(24), sx in 0usize..24, sy in 0usize..24) {
+        let emb = ImageEmbedding::encode(&img, 0.8);
+        let m = region_grow(&emb, &[Point::new(sx, sy)], 0.05, 0.15, None);
+        prop_assert!(m.get(sx, sy), "seed must belong to its own region");
+    }
+
+    #[test]
+    fn grow_monotone_in_global_tolerance(img in arb_image(20)) {
+        let emb = ImageEmbedding::encode(&img, 0.8);
+        let seed = [Point::new(10, 10)];
+        let mut prev = region_grow(&emb, &seed, 0.05, 0.02, None);
+        for tol in [0.05f32, 0.1, 0.2, 0.4] {
+            let cur = region_grow(&emb, &seed, 0.05, tol, None);
+            // prev ⊆ cur
+            prop_assert_eq!(prev.intersection_count(&cur), prev.count());
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn grow_connected(img in arb_image(20), sx in 0usize..20, sy in 0usize..20) {
+        let emb = ImageEmbedding::encode(&img, 0.8);
+        let m = region_grow(&emb, &[Point::new(sx, sy)], 0.06, 0.2, None);
+        let labels = zenesis_image::components::label_components(
+            &m,
+            zenesis_image::components::Connectivity::Four,
+        );
+        prop_assert!(labels.count() <= 1, "grown region must be 4-connected");
+    }
+
+    #[test]
+    fn decode_box_stays_in_roi(img in arb_image(32), x0 in 0usize..20, y0 in 0usize..20) {
+        let emb = ImageEmbedding::encode(&img, 0.8);
+        let bbox = BoxRegion::new(x0, y0, x0 + 10, y0 + 10);
+        let margin = 2;
+        let m = decode_box(&emb, bbox, margin, 1, true, true);
+        let roi = bbox.expand(margin).clamp_to(32, 32);
+        for p in m.iter_true() {
+            prop_assert!(roi.contains(p), "decoded pixel escapes the ROI");
+        }
+    }
+
+    #[test]
+    fn decode_box_polarity_disjoint(img in arb_image(24)) {
+        let emb = ImageEmbedding::encode(&img, 0.8);
+        let bbox = BoxRegion::new(2, 2, 22, 22);
+        let bright = decode_box(&emb, bbox, 0, 1, false, true);
+        let dark = decode_box(&emb, bbox, 0, 1, false, false);
+        // Bright-side and dark-side splits cannot claim the same pixel
+        // (holes are not filled in this check).
+        prop_assert_eq!(bright.intersection_count(&dark), 0);
+    }
+
+    #[test]
+    fn predict_multimask_sorted(img in arb_image(24), sx in 2usize..22, sy in 2usize..22) {
+        let sam = Sam::new(SamConfig::default());
+        let emb = sam.encode(&img);
+        let preds = sam.predict(&emb, &PromptSet::point(sx, sy));
+        prop_assert_eq!(preds.len(), 3);
+        for w in preds.windows(2) {
+            prop_assert!(w[0].quality >= w[1].quality);
+        }
+        for p in &preds {
+            prop_assert!((0.0..=1.0).contains(&p.stability));
+            prop_assert!(p.quality.is_finite());
+        }
+    }
+
+    #[test]
+    fn polarity_builder_roundtrip(bright in any::<bool>()) {
+        let p = if bright { Polarity::Bright } else { Polarity::Dark };
+        let ps = PromptSet::from_box(BoxRegion::new(0, 0, 4, 4)).with_polarity(p);
+        prop_assert_eq!(ps.polarity, p);
+    }
+}

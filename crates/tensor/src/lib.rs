@@ -1,0 +1,17 @@
+//! # zenesis-tensor
+//!
+//! The minimal dense-linear-algebra substrate under the Zenesis
+//! transformer stack: a row-major [`Matrix`] with cache-blocked,
+//! row-parallel matrix multiplication, plus the handful of pointwise and
+//! row-wise kernels attention needs (softmax, layer norm, GELU).
+//!
+//! Everything is `f32` and CPU-side; the parallel scheduling comes from
+//! `zenesis-par` and follows the Rust Performance Book's advice: flat
+//! buffers, preallocated outputs, no per-element allocation, inner loops
+//! over contiguous memory.
+
+mod matrix;
+mod ops;
+
+pub use matrix::Matrix;
+pub use ops::{gelu, gelu_inplace, layernorm_rows, softmax_rows};

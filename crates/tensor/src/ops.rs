@@ -1,0 +1,143 @@
+//! Row-wise and pointwise neural kernels: softmax, layer norm, GELU.
+
+use crate::matrix::Matrix;
+use zenesis_par::par_rows;
+
+/// Numerically-stable softmax applied independently to each row — the
+/// attention normalizer of the paper's Eq. (1).
+pub fn softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    let cols = m.cols();
+    par_rows(out.as_mut_slice(), cols, |_, band| {
+        for row in band.chunks_mut(cols) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            let inv = 1.0 / sum;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+        }
+    });
+    out
+}
+
+/// Per-row layer normalization with learnable-free unit gain:
+/// `(x - mean) / sqrt(var + eps)`.
+pub fn layernorm_rows(m: &Matrix, eps: f32) -> Matrix {
+    let mut out = m.clone();
+    let cols = m.cols();
+    par_rows(out.as_mut_slice(), cols, |_, band| {
+        for row in band.chunks_mut(cols) {
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            for v in row.iter_mut() {
+                *v = (*v - mean) * inv;
+            }
+        }
+    });
+    out
+}
+
+/// GELU activation (tanh approximation, as in the ViT reference impl).
+#[inline]
+pub fn gelu(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Apply GELU to every element in place.
+pub fn gelu_inplace(m: &mut Matrix) {
+    for v in m.as_mut_slice() {
+        *v = gelu(*v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let m = Matrix::seeded_uniform(7, 13, 4.0, 10);
+        let s = softmax_rows(&m);
+        for r in 0..7 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(s.row(r).iter().all(|&v| v > 0.0 && v <= 1.0));
+        }
+    }
+
+    #[test]
+    fn softmax_invariant_to_shift() {
+        let m = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut shifted = m.clone();
+        for v in shifted.as_mut_slice() {
+            *v += 100.0;
+        }
+        let a = softmax_rows(&m);
+        let b = softmax_rows(&shifted);
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_monotone() {
+        let m = Matrix::from_vec(1, 3, vec![0.0, 1.0, 2.0]);
+        let s = softmax_rows(&m);
+        assert!(s.get(0, 0) < s.get(0, 1));
+        assert!(s.get(0, 1) < s.get(0, 2));
+    }
+
+    #[test]
+    fn softmax_extreme_values_stable() {
+        let m = Matrix::from_vec(1, 3, vec![1000.0, 0.0, -1000.0]);
+        let s = softmax_rows(&m);
+        assert!(s.as_slice().iter().all(|v| v.is_finite()));
+        assert!((s.get(0, 0) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn layernorm_zero_mean_unit_var() {
+        let m = Matrix::seeded_uniform(5, 64, 3.0, 11);
+        let n = layernorm_rows(&m, 1e-5);
+        for r in 0..5 {
+            let mean: f32 = n.row(r).iter().sum::<f32>() / 64.0;
+            let var: f32 = n.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn layernorm_constant_row_is_zero() {
+        let m = Matrix::from_vec(1, 8, vec![5.0; 8]);
+        let n = layernorm_rows(&m, 1e-5);
+        assert!(n.as_slice().iter().all(|v| v.abs() < 1e-2));
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        assert_eq!(gelu(0.0), 0.0);
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+        assert!((gelu(-1.0) + 0.1588).abs() < 1e-3);
+        // Asymptotics.
+        assert!((gelu(10.0) - 10.0).abs() < 1e-3);
+        assert!(gelu(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_monotone_on_positive() {
+        let mut prev = gelu(0.0);
+        for i in 1..100 {
+            let v = gelu(i as f32 * 0.1);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Mode C: the evaluation dashboard (paper Fig. 8) over the 20-slice
+//! benchmark, at both granularities, with CSV/JSON export.
+//!
+//! ```text
+//! cargo run --release --example dashboard
+//! ```
+
+use zenesis::core::{modes, Method, Zenesis, ZenesisConfig};
+use zenesis::data::benchmark_dataset;
+use zenesis::metrics::dashboard::{render_sample_table, render_summary_table, to_csv, to_json};
+
+fn main() -> std::io::Result<()> {
+    println!("building the 20-slice benchmark (10 crystalline + 10 amorphous)...");
+    let ds = benchmark_dataset(128, 2025);
+    let z = Zenesis::new(ZenesisConfig::default());
+
+    println!("evaluating Otsu / SAM-only / Zenesis on every slice...\n");
+    let eval = modes::evaluate(&z, &ds, &Method::all());
+
+    println!("== dataset granularity (Tables 1-3) ==");
+    println!("{}", render_summary_table(&eval.summarize()));
+
+    println!("== individual granularity (first 12 rows) ==");
+    let table = render_sample_table(&eval);
+    for line in table.lines().take(16) {
+        println!("{line}");
+    }
+    println!("...\n");
+
+    std::fs::create_dir_all("out")?;
+    std::fs::write("out/dashboard.csv", to_csv(&eval))?;
+    std::fs::write("out/dashboard.json", to_json(&eval))?;
+    println!("full exports: out/dashboard.csv, out/dashboard.json");
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Cross-modality zero-shot segmentation (paper future work 1): the same
+//! models segment STM, EDX, and XRD frames; the only per-modality choice
+//! is the readiness preset a domain user would pick in the no-code UI.
+//!
+//! ```text
+//! cargo run --release --example modalities
+//! ```
+//!
+//! Writes side-by-side PNG panels to `out/modalities/`.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use zenesis::adapt::AdaptPipeline;
+use zenesis::core::{Zenesis, ZenesisConfig};
+use zenesis::data::{generate_modality, Modality};
+use zenesis::image::draw::overlay_mask;
+use zenesis::image::io::png::{save_png_gray, save_png_rgb};
+use zenesis::image::RgbImage;
+use zenesis::metrics::Confusion;
+
+fn main() -> zenesis::image::Result<()> {
+    std::fs::create_dir_all("out/modalities")?;
+    println!(
+        "{:<6} {:<28} {:>8} {:>8} {:>8}",
+        "Mod", "Prompt", "IoU", "Dice", "Recall"
+    );
+    for m in [Modality::Stm, Modality::Edx, Modality::Xrd] {
+        let frame = generate_modality(m, 128, 7);
+        let mut cfg = ZenesisConfig::default();
+        cfg.adapt = match m.adapt_preset_name() {
+            "stm" => AdaptPipeline::stm(),
+            "xrd" => AdaptPipeline::xrd(),
+            _ => AdaptPipeline::minimal(),
+        };
+        let z = Zenesis::new(cfg);
+        let result = z.segment_slice(&frame.raw, m.default_prompt());
+        let scores = Confusion::from_masks(&result.combined, &frame.truth).scores();
+        println!(
+            "{:<6} {:<28} {:>8.3} {:>8.3} {:>8.3}",
+            m.label(),
+            m.default_prompt(),
+            scores.iou,
+            scores.dice,
+            scores.recall
+        );
+        let name = m.label().to_lowercase();
+        save_png_gray(
+            &result.adapted.quantize(),
+            format!("out/modalities/{name}_adapted.png"),
+        )?;
+        let mut rgb = RgbImage::from_gray(&result.adapted);
+        overlay_mask(&mut rgb, &result.combined, [230, 80, 40], 0.5);
+        save_png_rgb(&rgb, format!("out/modalities/{name}_overlay.png"))?;
+    }
+    println!("\npanels written to out/modalities/*.png");
+    Ok(())
+}

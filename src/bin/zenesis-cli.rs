@@ -1,0 +1,133 @@
+//! `zenesis-cli` — the no-code platform as a command-line tool.
+//!
+//! Reads a JSON job spec (file argument or stdin) and prints the JSON
+//! result; this is the same contract the paper's web UI speaks, so any
+//! front end — or a shell script — can drive the full platform:
+//!
+//! ```text
+//! # run a job from a file
+//! cargo run --release --bin zenesis-cli -- job.json
+//!
+//! # run a job from stdin
+//! echo '{"mode":"interactive",
+//!        "input":{"source":"phantom_slice","kind":"amorphous","seed":7},
+//!        "prompt":"catalyst particles"}' | cargo run --release --bin zenesis-cli
+//!
+//! # segment your own microscope data
+//! cargo run --release --bin zenesis-cli -- --tiff slice.tif --prompt "bright particles"
+//!
+//! # print example job specs
+//! cargo run --release --bin zenesis-cli -- --examples
+//! ```
+
+use std::io::Read;
+
+use zenesis::core::job::{run_job, run_job_json, InputSpec, JobSpec, PhantomKind};
+
+fn examples() -> Vec<(&'static str, JobSpec)> {
+    vec![
+        (
+            "Mode A: interactive single slice",
+            JobSpec::Interactive {
+                input: InputSpec::PhantomSlice {
+                    kind: PhantomKind::Crystalline,
+                    seed: 42,
+                    side: 128,
+                },
+                prompt: "needle-like crystalline catalyst".into(),
+                config: None,
+            },
+        ),
+        (
+            "Mode A: your own TIFF",
+            JobSpec::Interactive {
+                input: InputSpec::TiffFile {
+                    path: "slice.tif".into(),
+                },
+                prompt: "bright particles".into(),
+                config: None,
+            },
+        ),
+        (
+            "Mode B: batch volume",
+            JobSpec::Batch {
+                input: InputSpec::PhantomVolume {
+                    kind: PhantomKind::Amorphous,
+                    seed: 7,
+                    depth: 8,
+                    side: 128,
+                    outlier_slices: vec![3],
+                },
+                prompt: "catalyst particles".into(),
+                config: None,
+            },
+        ),
+        (
+            "Mode C: benchmark evaluation",
+            JobSpec::Evaluate {
+                input: InputSpec::Benchmark {
+                    seed: 2025,
+                    side: 128,
+                },
+                methods: vec![],
+                config: None,
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // --examples: print sample job specs and exit.
+    if args.iter().any(|a| a == "--examples") {
+        for (label, spec) in examples() {
+            eprintln!("# {label}");
+            println!("{}", serde_json::to_string_pretty(&spec).expect("specs serialize"));
+            println!();
+        }
+        return;
+    }
+    // --tiff <path> --prompt <text>: convenience shortcut.
+    if let Some(pos) = args.iter().position(|a| a == "--tiff") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("--tiff requires a path");
+            std::process::exit(2);
+        };
+        let prompt = args
+            .iter()
+            .position(|a| a == "--prompt")
+            .and_then(|p| args.get(p + 1))
+            .cloned()
+            .unwrap_or_else(|| "bright particles".into());
+        let spec = JobSpec::Interactive {
+            input: InputSpec::TiffFile { path: path.clone() },
+            prompt,
+            config: None,
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&run_job(&spec)).expect("results serialize")
+        );
+        return;
+    }
+    // Default: a JSON job from file argument or stdin.
+    let json = match args.first() {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path:?}: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => {
+            let mut buf = String::new();
+            if std::io::stdin().read_to_string(&mut buf).is_err() || buf.trim().is_empty() {
+                eprintln!("usage: zenesis-cli [job.json | --tiff <path> --prompt <text> | --examples]");
+                eprintln!("       (or pipe a JSON job spec on stdin)");
+                std::process::exit(2);
+            }
+            buf
+        }
+    };
+    println!("{}", run_job_json(&json));
+}
