@@ -193,6 +193,8 @@ impl AdaptPipeline {
     pub fn run(&self, img: &Image<f32>) -> Image<f32> {
         let mut cur = img.clone();
         for stage in &self.stages {
+            let _s = zenesis_obs::enabled()
+                .then(|| zenesis_obs::span(format!("adapt.{}", stage.name())));
             cur = stage.apply(&cur);
         }
         cur
@@ -203,7 +205,10 @@ impl AdaptPipeline {
         let mut cur = img.clone();
         let mut traces = Vec::with_capacity(self.stages.len());
         for stage in &self.stages {
+            let span = zenesis_obs::enabled()
+                .then(|| zenesis_obs::span(format!("adapt.{}", stage.name())));
             cur = stage.apply(&cur);
+            drop(span);
             let (lo, hi) = cur.min_max();
             traces.push(AdaptTrace {
                 stage: stage.name().to_string(),

@@ -5,9 +5,14 @@
 //! cargo run --release -p zenesis-bench --bin repro -- table1 table2 table3
 //! cargo run --release -p zenesis-bench --bin repro -- fig3 fig5 fig6 fig7 fig8
 //! cargo run --release -p zenesis-bench --bin repro -- ablation scaling
+//! cargo run --release -p zenesis-bench --bin repro -- tables --trace-out trace.json
 //! ```
 //!
-//! Figure image outputs land in `out/`.
+//! Figure image outputs land in `out/`. Observability is on by default
+//! (spans level) so the run ends with a per-stage latency table; set
+//! `ZENESIS_OBS=off` to measure without it, or `full` for thread-pool
+//! profiling. `--trace-out <path>` writes the span/metric trace as JSON
+//! (see `docs/OBSERVABILITY.md`).
 
 use std::path::PathBuf;
 
@@ -15,7 +20,21 @@ use zenesis_bench::*;
 use zenesis_core::job::run_job;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Default to span recording so repro prints stage latencies; an
+    // explicit ZENESIS_OBS (including "off") always wins.
+    if std::env::var_os("ZENESIS_OBS").is_none() {
+        zenesis_obs::set_level(zenesis_obs::ObsLevel::Spans);
+    }
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .map(|i| {
+            let mut tail = args.split_off(i);
+            assert!(tail.len() >= 2, "--trace-out requires a path argument");
+            args.extend(tail.drain(2..));
+            PathBuf::from(tail.pop().expect("path"))
+        });
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "tables", "fig3", "fig5", "fig6", "fig7", "fig8", "ablation", "scaling", "job",
@@ -169,5 +188,20 @@ fn main() {
         std::fs::create_dir_all(&outdir).ok();
         std::fs::write(outdir.join("tables.csv"), eval_csv(e)).ok();
         eprintln!("[repro] per-sample CSV written to out/tables.csv");
+    }
+
+    if zenesis_obs::enabled() {
+        println!("== Per-stage latency (p50/p90/p99 from the observability layer) ==");
+        println!(
+            "{}",
+            zenesis_metrics::dashboard::render_latency_table(&zenesis_obs::latency_rows())
+        );
+    }
+    if let Some(path) = trace_out {
+        let json = zenesis_obs::export::trace_json_string(true);
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("[repro] trace written to {}", path.display()),
+            Err(e) => eprintln!("[repro] failed to write trace {}: {e}", path.display()),
+        }
     }
 }

@@ -4,6 +4,8 @@
 //! for hierarchical segmentation by triggering GroundingDINO and SAM on
 //! subregions for more detailed analysis."
 
+use std::sync::Arc;
+
 use zenesis_image::{BitMask, BoxRegion, Image};
 
 use crate::pipeline::{SliceResult, Zenesis};
@@ -35,7 +37,7 @@ impl Zenesis {
         let (w, h) = adapted.dims();
         let region = region.clamp_to(w, h);
         let crop = adapted.crop(region).ok()?;
-        let crop_result = self.segment_adapted(&crop, prompt);
+        let crop_result = self.segment_adapted(&Arc::new(crop), prompt);
         // Map back to parent coordinates.
         let detections: Vec<zenesis_ground::Detection> = crop_result
             .detections
@@ -100,7 +102,7 @@ mod tests {
     #[test]
     fn parent_then_child_segmentation() {
         let z = Zenesis::new(ZenesisConfig::default());
-        let img = scene();
+        let img = Arc::new(scene());
         let parent = z.segment_adapted(&img, "bright particles");
         assert!(!parent.detections.is_empty());
         // Level 2: look for dark pores inside the parent's best box.

@@ -171,6 +171,7 @@ pub enum JobResult {
 
 /// Execute a job.
 pub fn run_job(spec: &JobSpec) -> JobResult {
+    let _root = zenesis_obs::span("job.run");
     match spec {
         JobSpec::Interactive {
             input,

@@ -38,11 +38,12 @@ pub fn evaluate(z: &Zenesis, dataset: &Dataset, methods: &[Method]) -> DatasetEv
 /// tool gets); Zenesis sees its own adaptation. See [`Method`].
 pub fn evaluate_sample(z: &Zenesis, sample: &Sample, methods: &[Method]) -> Vec<SampleEval> {
     let (adapted, _) = z.adapt(&sample.raw);
+    let adapted = std::sync::Arc::new(adapted);
     // The baseline rendition is only needed when a baseline method runs.
     let baseline_view = if methods.iter().any(|m| *m != Method::Zenesis) {
         zenesis_adapt::AdaptPipeline::minimal().run(&sample.raw.to_f32())
     } else {
-        adapted.clone()
+        (*adapted).clone()
     };
     let prompt = sample.kind.default_prompt();
     methods

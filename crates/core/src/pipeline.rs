@@ -1,8 +1,17 @@
 //! The core Zenesis pipeline: raw → adapt → ground → segment (Fig. 2).
+//!
+//! With `ZENESIS_OBS=spans` (or `full`) every run records a span tree —
+//! `pipeline.segment_slice` over `pipeline.adapt` / `pipeline.ground` /
+//! `pipeline.segment`, which in turn cover the per-stage, grounding, and
+//! decoder sub-spans of the lower layers — plus the
+//! `pipeline.{adapt,ground,segment,total}.lat` latency histograms. The
+//! [`PipelineTrace`] carried on every [`SliceResult`] is filled from the
+//! same wall-clock measurements whether or not recording is on, so
+//! outputs are identical with observability disabled.
 
 #![allow(clippy::field_reassign_with_default)]
 
-use std::time::Instant;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use zenesis_adapt::AdaptTrace;
@@ -27,8 +36,9 @@ pub struct PipelineTrace {
 /// The result of segmenting one slice.
 #[derive(Debug, Clone)]
 pub struct SliceResult {
-    /// The adapted (model-ready) image.
-    pub adapted: Image<f32>,
+    /// The adapted (model-ready) image, shared so re-prompting and
+    /// temporal refinement never copy the pixels.
+    pub adapted: Arc<Image<f32>>,
     /// DINO detections that survived thresholds and NMS.
     pub detections: Vec<Detection>,
     /// Per-detection masks, aligned with `detections`.
@@ -87,21 +97,28 @@ impl Zenesis {
 
     /// Full pipeline on a raw slice with a natural-language prompt.
     pub fn segment_slice<T: Pixel>(&self, raw: &Image<T>, prompt: &str) -> SliceResult {
-        let t0 = Instant::now();
-        let (adapted, adapt_stages) = self.adapt(raw);
-        let adapt_ms = t0.elapsed().as_secs_f64() * 1e3;
-        self.segment_adapted_with(adapted, adapt_stages, adapt_ms, prompt)
+        let _root = zenesis_obs::span("pipeline.segment_slice");
+        let ((adapted, adapt_stages), adapt_ms) =
+            zenesis_obs::timed("pipeline.adapt", || self.adapt(raw));
+        zenesis_obs::record_ms("pipeline.adapt.lat", adapt_ms);
+        self.segment_adapted_with(Arc::new(adapted), adapt_stages, adapt_ms, prompt)
     }
 
     /// Pipeline on an already-adapted image (Mode A re-prompting reuses
-    /// the adaptation).
-    pub fn segment_adapted(&self, adapted: &Image<f32>, prompt: &str) -> SliceResult {
-        self.segment_adapted_with(adapted.clone(), Vec::new(), 0.0, prompt)
+    /// the adaptation). The `Arc` is cloned, not the pixels; the count of
+    /// avoided copies is the `core.adapt_reuse` metric.
+    pub fn segment_adapted(&self, adapted: &Arc<Image<f32>>, prompt: &str) -> SliceResult {
+        if zenesis_obs::enabled() {
+            zenesis_obs::counter("core.adapt_reuse").inc();
+            zenesis_obs::counter("core.adapt_reuse.bytes_saved")
+                .add((adapted.len() * std::mem::size_of::<f32>()) as u64);
+        }
+        self.segment_adapted_with(Arc::clone(adapted), Vec::new(), 0.0, prompt)
     }
 
     fn segment_adapted_with(
         &self,
-        adapted: Image<f32>,
+        adapted: Arc<Image<f32>>,
         adapt_stages: Vec<AdaptTrace>,
         adapt_ms: f64,
         prompt: &str,
@@ -109,44 +126,48 @@ impl Zenesis {
         let (w, h) = adapted.dims();
         // Grounding and the SAM image encoding are independent; fork-join
         // overlaps them (SAM's design point: encode once, decode many).
-        let t1 = Instant::now();
-        let (grounding, emb) = zenesis_par::join(
-            || self.dino.ground(&adapted, prompt),
-            || self.sam.encode(&adapted),
-        );
-        let ground_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let ((grounding, emb), ground_ms) = zenesis_obs::timed("pipeline.ground", || {
+            zenesis_par::join(
+                || self.dino.ground(&adapted, prompt),
+                || self.sam.encode_cached(&adapted),
+            )
+        });
+        zenesis_obs::record_ms("pipeline.ground.lat", ground_ms);
 
-        let t2 = Instant::now();
-        let polarity = if grounding.dark_polarity {
-            Polarity::Dark
-        } else {
-            Polarity::Bright
-        };
-        let masks: Vec<BitMask> = grounding
-            .detections
-            .iter()
-            .map(|d| {
-                self.sam
-                    .segment(&emb, &PromptSet::from_box(d.bbox).with_polarity(polarity))
-            })
-            .collect();
-        let mut combined = BitMask::new(w, h);
-        for m in &masks {
-            combined.or_with(m);
-        }
-        // Relevance gate (the Grounded-SAM practice of keeping only mask
-        // pixels the grounding supports): intersect with the dilated
-        // high-relevance region. Dilation by half a patch forgives the
-        // coarse patch grid at structure boundaries.
-        if let Some(floor) = self.config.relevance_floor {
-            let support = BitMask::from_threshold(&grounding.relevance_full(w, h), floor);
-            let support = zenesis_image::morphology::dilate(
-                &support,
-                zenesis_image::morphology::Structuring::Square(grounding.patch / 2),
-            );
-            combined.and_with(&support);
-        }
-        let segment_ms = t2.elapsed().as_secs_f64() * 1e3;
+        let ((masks, combined), segment_ms) = zenesis_obs::timed("pipeline.segment", || {
+            let polarity = if grounding.dark_polarity {
+                Polarity::Dark
+            } else {
+                Polarity::Bright
+            };
+            let masks: Vec<BitMask> = grounding
+                .detections
+                .iter()
+                .map(|d| {
+                    self.sam
+                        .segment(&emb, &PromptSet::from_box(d.bbox).with_polarity(polarity))
+                })
+                .collect();
+            let mut combined = BitMask::new(w, h);
+            for m in &masks {
+                combined.or_with(m);
+            }
+            // Relevance gate (the Grounded-SAM practice of keeping only
+            // mask pixels the grounding supports): intersect with the
+            // dilated high-relevance region. Dilation by half a patch
+            // forgives the coarse patch grid at structure boundaries.
+            if let Some(floor) = self.config.relevance_floor {
+                let support = BitMask::from_threshold(&grounding.relevance_full(w, h), floor);
+                let support = zenesis_image::morphology::dilate(
+                    &support,
+                    zenesis_image::morphology::Structuring::Square(grounding.patch / 2),
+                );
+                combined.and_with(&support);
+            }
+            (masks, combined)
+        });
+        zenesis_obs::record_ms("pipeline.segment.lat", segment_ms);
+        zenesis_obs::record_ms("pipeline.total.lat", adapt_ms + ground_ms + segment_ms);
 
         let relevance = grounding.relevance_full(w, h);
         SliceResult {

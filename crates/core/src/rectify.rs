@@ -89,7 +89,8 @@ impl Zenesis {
         adapted: &Image<f32>,
         boxes: &[BoxRegion],
     ) -> Vec<Candidate> {
-        let emb = self.sam().encode(adapted);
+        let _s = zenesis_obs::span("rectify.candidates");
+        let emb = self.sam().encode_cached(adapted);
         zenesis_par::par_map(boxes, |&bbox| Candidate {
             bbox,
             mask: self.sam().segment(&emb, &PromptSet::from_box(bbox)),

@@ -1,6 +1,8 @@
 //! Mode A: the interactive session (prompt, inspect, rectify, refine)
 //! with undo history — the state behind the paper's web UI.
 
+use std::sync::Arc;
+
 use zenesis_image::{BitMask, Image, Pixel, Point};
 
 use crate::config::ZenesisConfig;
@@ -19,7 +21,8 @@ pub enum Interaction {
 /// An interactive single-slice session.
 pub struct Session {
     zenesis: Zenesis,
-    adapted: Image<f32>,
+    /// Adapted once at open; shared with every re-prompt without copying.
+    adapted: Arc<Image<f32>>,
     /// Mask history; last entry is the current segmentation.
     history: Vec<BitMask>,
     /// Interaction log (for reproducibility / audit).
@@ -35,7 +38,7 @@ impl Session {
         let (adapted, _) = zenesis.adapt(raw);
         Session {
             zenesis,
-            adapted,
+            adapted: Arc::new(adapted),
             history: Vec::new(),
             log: Vec::new(),
             last_result: None,

@@ -6,6 +6,8 @@
 //! ensuring temporal consistency and mitigating artifacts due to sudden
 //! changes in appearance or GroundingDINO failures."
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 use zenesis_image::{BitMask, BoxRegion, Image, Pixel, Volume};
 use zenesis_sam::{MemoryBank, PromptSet};
@@ -92,6 +94,15 @@ fn mean_box(window: &[BoxRegion]) -> BoxRegion {
     BoxRegion::from_center(cx / n, cy / n, w / n, h / n)
 }
 
+/// Output of [`refine_boxes`]: per-slice used boxes, per-slice events,
+/// and the `(mean width, mean height)` of the fallback window that
+/// judged each slice (`None` before any history exists).
+pub type RefinedBoxes = (
+    Vec<Option<BoxRegion>>,
+    Vec<SliceBoxEvent>,
+    Vec<Option<(f64, f64)>>,
+);
+
 /// Apply the temporal heuristic to a per-slice primary-box sequence.
 ///
 /// Returns `(used_boxes, events, window_dims)` where `window_dims[i]` is
@@ -100,14 +111,7 @@ fn mean_box(window: &[BoxRegion]) -> BoxRegion {
 /// screens that slice's secondary boxes). Accepted (non-outlier) boxes
 /// enter the history window that judges later slices; replaced boxes do
 /// not, so one bad slice cannot poison the statistics.
-pub fn refine_boxes(
-    raw: &[Option<BoxRegion>],
-    cfg: &TemporalConfig,
-) -> (
-    Vec<Option<BoxRegion>>,
-    Vec<SliceBoxEvent>,
-    Vec<Option<(f64, f64)>>,
-) {
+pub fn refine_boxes(raw: &[Option<BoxRegion>], cfg: &TemporalConfig) -> RefinedBoxes {
     let mut history: Vec<BoxRegion> = Vec::new();
     let mut used = Vec::with_capacity(raw.len());
     let mut events = Vec::with_capacity(raw.len());
@@ -161,6 +165,7 @@ impl Zenesis {
     /// decoding instead runs sequentially through a SAM2 memory bank,
     /// with the refined box of each slice seeding the cold start.
     pub fn segment_volume<T: Pixel>(&self, vol: &Volume<T>, prompt: &str) -> VolumeResult {
+        let _root = zenesis_obs::span("pipeline.segment_volume");
         let depth = vol.depth();
         // Stage 1: per-slice pipeline (parallel over slices).
         let slices: Vec<SliceResult> = zenesis_par::par_map_range(depth, |z| {
@@ -168,18 +173,22 @@ impl Zenesis {
         });
         // Stage 2: temporal refinement over the primary (highest-score)
         // boxes.
+        let refine_span = zenesis_obs::span("temporal.refine");
         let raw_boxes: Vec<Option<BoxRegion>> = slices
             .iter()
             .map(|s| s.detections.first().map(|d| d.bbox))
             .collect();
         let (used, events, window_dims) = refine_boxes(&raw_boxes, &self.config.temporal);
+        drop(refine_span);
         // Stage 3: decode masks with the refined primary box plus the
         // secondary (non-primary) boxes that pass the same size screen.
+        let _decode = zenesis_obs::span("temporal.decode");
         let masks: Vec<BitMask> = if self.config.use_memory {
             let mut bank = MemoryBank::new(self.config.temporal.window.max(1));
             let mut out = Vec::with_capacity(depth);
             for z in 0..depth {
-                let adapted = slices[z].adapted.clone();
+                // Arc clone: shares the adapted pixels with the slice result.
+                let adapted = Arc::clone(&slices[z].adapted);
                 let used_box = used[z];
                 let mask = bank.propagate(self.sam(), &adapted, || {
                     self.decode_with_box(&adapted, used_box, &slices[z], window_dims[z])
@@ -210,7 +219,7 @@ impl Zenesis {
         window_dims: Option<(f64, f64)>,
     ) -> BitMask {
         let (w, h) = adapted.dims();
-        let emb = self.sam().encode(adapted);
+        let emb = self.sam().encode_cached(adapted);
         let mut combined = BitMask::new(w, h);
         if let Some(b) = primary {
             combined.or_with(&self.sam().segment(&emb, &PromptSet::from_box(b)));

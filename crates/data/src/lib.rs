@@ -18,7 +18,8 @@
 //! 16-bit with a deliberately narrow occupied dynamic range (raw detector
 //! counts), i.e. *non-AI-ready by construction*.
 //!
-//! Every sample carries its exact ground-truth [`BitMask`], which the real
+//! Every sample carries its exact ground-truth [`zenesis_image::BitMask`],
+//! which the real
 //! dataset lacks — that is precisely what lets this reproduction score the
 //! paper's metrics.
 

@@ -126,8 +126,15 @@ impl GroundingDino {
     /// reduces to no tokens) returns an empty grounding — text is the
     /// control signal; without it there is nothing to ground.
     pub fn ground(&self, img: &Image<f32>, prompt: &str) -> Grounding {
-        let tokens = tokenize(prompt);
-        let grid = FeatureGrid::compute_at_scale(img, self.config.patch, self.config.feature_sigma);
+        let _root = zenesis_obs::span("ground.dino");
+        let tokens = {
+            let _s = zenesis_obs::span("ground.tokenize");
+            tokenize(prompt)
+        };
+        let grid = {
+            let _s = zenesis_obs::span("ground.encode");
+            FeatureGrid::compute_at_scale(img, self.config.patch, self.config.feature_sigma)
+        };
         let (gw, gh) = (grid.gw, grid.gh);
         let dark_polarity = self.prompt_is_dark(&tokens);
         if tokens.is_empty() {
@@ -140,6 +147,7 @@ impl GroundingDino {
             };
         }
         // Text side: tokens -> attribute vectors -> shared projection.
+        let attn_span = zenesis_obs::span("ground.attention");
         let tvecs = self.lexicon.encode_tokens(&tokens);
         let tmat = Matrix::from_fn(tvecs.len(), N_CHANNELS, |r, c| tvecs[r][c]);
         let mut q = tmat.matmul(&self.projection);
@@ -197,6 +205,8 @@ impl GroundingDino {
                 *r += health / (1.0 + (-z).exp()) / n_tok;
             }
         }
+        drop(attn_span);
+        let nms_span = zenesis_obs::span("ground.nms");
         let dets = decode_boxes(
             &rel,
             gw,
@@ -228,6 +238,7 @@ impl GroundingDino {
                 detections = compact;
             }
         }
+        drop(nms_span);
         Grounding {
             detections,
             relevance: Image::from_vec(gw, gh, rel).expect("grid shape"),

@@ -114,6 +114,53 @@ pub fn render_sample_table(eval: &DatasetEval) -> String {
     out
 }
 
+/// Render per-stage latency percentiles (from the observability layer's
+/// `*.lat` histograms) in the same table style as the accuracy
+/// dashboards, so Mode C reports show latency next to IoU/Dice. Returns
+/// an explanatory placeholder when nothing was recorded.
+pub fn render_latency_table(rows: &[zenesis_obs::LatencyRow]) -> String {
+    if rows.is_empty() {
+        return String::from("(no latency metrics recorded — set ZENESIS_OBS=spans)\n");
+    }
+    let header = ["Stage", "Count", "p50 ms", "p90 ms", "p99 ms", "Mean ms"];
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.stage.clone(),
+                r.count.to_string(),
+                format!("{:.2}", r.p50_ms),
+                format!("{:.2}", r.p90_ms),
+                format!("{:.2}", r.p99_ms),
+                format!("{:.2}", r.mean_ms),
+            ]
+        })
+        .collect();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in &cells {
+        for (i, c) in r.iter().enumerate() {
+            widths[i] = widths[i].max(disp_width(c));
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&hline(&widths));
+    out.push('\n');
+    out.push_str(&row(
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&hline(&widths));
+    out.push('\n');
+    for r in &cells {
+        out.push_str(&row(r, &widths));
+        out.push('\n');
+    }
+    out.push_str(&hline(&widths));
+    out.push('\n');
+    out
+}
+
 /// CSV export of per-sample records.
 pub fn to_csv(eval: &DatasetEval) -> String {
     let mut out =
@@ -205,6 +252,24 @@ mod tests {
         for s in &ev.samples {
             assert!(table.contains(&s.sample_id));
         }
+    }
+
+    #[test]
+    fn latency_table_renders_rows_and_placeholder() {
+        assert!(render_latency_table(&[]).contains("ZENESIS_OBS"));
+        let rows = vec![zenesis_obs::LatencyRow {
+            stage: "pipeline.adapt".to_string(),
+            count: 20,
+            p50_ms: 4.1,
+            p90_ms: 5.3,
+            p99_ms: 6.1,
+            mean_ms: 4.2,
+        }];
+        let table = render_latency_table(&rows);
+        assert!(table.contains("pipeline.adapt"));
+        assert!(table.contains("p99 ms"));
+        let char_lens: Vec<usize> = table.lines().map(|l| l.chars().count()).collect();
+        assert!(char_lens.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Exports: human-readable span tree and machine-readable JSON trace.
+//!
+//! The JSON schema (version 1) is documented in `docs/OBSERVABILITY.md`:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "spans": [
+//!     {"id": 3, "parent": 2, "name": "ground.attention",
+//!      "thread": "main", "start_us": 1042, "dur_us": 311}
+//!   ],
+//!   "counters": {"sam.embed_cache.hit": 4},
+//!   "gauges": {"par.pool.queue_depth": 0},
+//!   "histograms": {
+//!     "pipeline.adapt.lat": {"count": 20, "mean": 4210.0, "p50": 4100.0,
+//!                            "p90": 5300.0, "p99": 6100.0, "max": 6233}
+//!   }
+//! }
+//! ```
+
+use serde_json::{Map, Number, Value};
+
+use crate::metrics::metrics_snapshot;
+use crate::span::{snapshot, SpanId, SpanRecord};
+
+fn children_of(spans: &[SpanRecord]) -> Vec<Vec<usize>> {
+    // Index spans by id for parent lookup; spans are already start-sorted.
+    let mut kids: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let idx_of = |id: SpanId| spans.iter().position(|s| s.id == id);
+    for (i, s) in spans.iter().enumerate() {
+        if let Some(p) = s.parent.and_then(idx_of) {
+            kids[p].push(i);
+        }
+    }
+    kids
+}
+
+fn roots(spans: &[SpanRecord]) -> Vec<usize> {
+    spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| {
+            match s.parent {
+                None => true,
+                // A parent that never completed (still-open guard, or
+                // cleared registry) promotes the child to a root so it
+                // still shows up in the tree.
+                Some(p) => !spans.iter().any(|o| o.id == p),
+            }
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn render_node(
+    spans: &[SpanRecord],
+    kids: &[Vec<usize>],
+    i: usize,
+    depth: usize,
+    out: &mut String,
+) {
+    let s = &spans[i];
+    let indent = "  ".repeat(depth);
+    let label = format!("{indent}{}", s.name);
+    out.push_str(&format!(
+        "{label:<48} {:>10.3} ms  [{}]\n",
+        s.dur_ns as f64 / 1e6,
+        s.thread
+    ));
+    for &c in &kids[i] {
+        render_node(spans, kids, c, depth + 1, out);
+    }
+}
+
+/// Render every recorded span as an indented tree with durations and
+/// thread attribution, roots ordered by start time.
+pub fn render_tree() -> String {
+    let spans = snapshot();
+    if spans.is_empty() {
+        return String::from("(no spans recorded — set ZENESIS_OBS=spans)\n");
+    }
+    let kids = children_of(&spans);
+    let mut out = String::new();
+    for r in roots(&spans) {
+        render_node(&spans, &kids, r, 0, &mut out);
+    }
+    out
+}
+
+/// The full trace (spans + metrics) as a JSON value.
+pub fn trace_json() -> Value {
+    let mut root = Map::new();
+    root.insert("version", Value::Number(Number::U(1)));
+
+    let spans: Vec<Value> = snapshot()
+        .iter()
+        .map(|s| {
+            let mut m = Map::new();
+            m.insert("id", Value::Number(Number::U(s.id.0)));
+            m.insert(
+                "parent",
+                match s.parent {
+                    Some(p) => Value::Number(Number::U(p.0)),
+                    None => Value::Null,
+                },
+            );
+            m.insert("name", Value::String(s.name.to_string()));
+            m.insert("thread", Value::String(s.thread.clone()));
+            m.insert("start_us", Value::Number(Number::U(s.start_ns / 1_000)));
+            m.insert("dur_us", Value::Number(Number::U(s.dur_ns / 1_000)));
+            Value::Object(m)
+        })
+        .collect();
+    root.insert("spans", Value::Array(spans));
+
+    let snap = metrics_snapshot();
+    let mut counters = Map::new();
+    for (k, v) in &snap.counters {
+        counters.insert(k.clone(), Value::Number(Number::U(*v)));
+    }
+    root.insert("counters", Value::Object(counters));
+
+    let mut gauges = Map::new();
+    for (k, v) in &snap.gauges {
+        gauges.insert(k.clone(), Value::Number(Number::I(*v)));
+    }
+    root.insert("gauges", Value::Object(gauges));
+
+    let mut hists = Map::new();
+    for (k, st) in &snap.histograms {
+        let mut h = Map::new();
+        h.insert("count", Value::Number(Number::U(st.count)));
+        h.insert("mean", Value::Number(Number::F(st.mean)));
+        h.insert("p50", Value::Number(Number::F(st.p50)));
+        h.insert("p90", Value::Number(Number::F(st.p90)));
+        h.insert("p99", Value::Number(Number::F(st.p99)));
+        h.insert("max", Value::Number(Number::U(st.max)));
+        hists.insert(k.clone(), Value::Object(h));
+    }
+    root.insert("histograms", Value::Object(hists));
+
+    Value::Object(root)
+}
+
+/// The full trace serialized to a JSON string.
+pub fn trace_json_string(pretty: bool) -> String {
+    let v = trace_json();
+    if pretty {
+        serde_json::to_string_pretty(&v).expect("trace serializes")
+    } else {
+        serde_json::to_string(&v).expect("trace serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace_is_valid_json() {
+        let v = trace_json();
+        assert_eq!(v["version"], 1u64);
+        assert!(v["spans"].is_array());
+        assert!(v["counters"].is_object());
+        let text = trace_json_string(true);
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back["version"], 1u64);
+    }
+}

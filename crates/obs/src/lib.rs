@@ -1,0 +1,69 @@
+//! # zenesis-obs
+//!
+//! Structured observability for the Zenesis pipeline: hierarchical spans,
+//! a process-wide metrics registry, and profiling hooks for the parallel
+//! runtime. Every compute layer (adapt, ground, sam, core, par) reports
+//! through this crate; the bench harness and CLIs export the result as a
+//! human-readable tree or machine-readable JSON (see
+//! `docs/OBSERVABILITY.md` at the repository root).
+//!
+//! ## Design
+//!
+//! * **Spans** ([`span`], [`SpanGuard`]) are RAII wall-time measurements
+//!   with parent/child structure. Each thread keeps a span stack; a new
+//!   span becomes a child of the innermost open span on its thread. The
+//!   parallel runtime propagates the caller's span across thread
+//!   boundaries with [`with_parent`], so work executed on pool or scoped
+//!   worker threads still attributes to the pipeline stage that spawned
+//!   it.
+//! * **Metrics** ([`counter`], [`gauge`], [`histogram`]) are named,
+//!   process-global instruments. Histograms are log-scale (8 sub-buckets
+//!   per power of two, ≤ ~6% representative error) and report
+//!   p50/p90/p99 without storing individual samples.
+//! * **Zero cost when off.** The recording level comes from the
+//!   `ZENESIS_OBS` environment variable (`off` | `spans` | `full`,
+//!   default `off`) and is gated behind one relaxed atomic load. With
+//!   observability off, [`span`] returns an inert guard, [`timed`] still
+//!   returns wall-clock milliseconds (callers need timings for their own
+//!   traces) but records nothing, and the profiling hooks in
+//!   `zenesis-par` reduce to a branch.
+//!
+//! ## Example
+//!
+//! ```
+//! zenesis_obs::set_level(zenesis_obs::ObsLevel::Spans);
+//! let (value, ms) = zenesis_obs::timed("example.outer", || {
+//!     let _inner = zenesis_obs::span("example.inner");
+//!     21 * 2
+//! });
+//! assert_eq!(value, 42);
+//! assert!(ms >= 0.0);
+//! let spans = zenesis_obs::snapshot();
+//! let outer = spans.iter().find(|s| s.name == "example.outer").unwrap();
+//! let inner = spans.iter().find(|s| s.name == "example.inner").unwrap();
+//! assert_eq!(inner.parent, Some(outer.id));
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+pub mod export;
+mod metrics;
+mod span;
+
+pub use config::{enabled, full, level, set_level, ObsLevel};
+pub use metrics::{
+    counter, gauge, histogram, latency_rows, metrics_snapshot, record_ms, reset_metrics, Counter,
+    Gauge, Histogram, HistogramStats, LatencyRow, MetricsSnapshot,
+};
+pub use span::{
+    current, reset_spans, snapshot, span, span_under, timed, with_parent, SpanGuard, SpanId,
+    SpanRecord,
+};
+
+/// Clear all recorded spans and all registered metrics (test isolation,
+/// or between independent benchmark runs).
+pub fn reset() {
+    reset_spans();
+    reset_metrics();
+}

@@ -1,0 +1,218 @@
+//! Hierarchical wall-time spans with thread attribution.
+//!
+//! A span is opened with [`span`] and recorded when its guard drops.
+//! Parenthood comes from a thread-local stack: the innermost open span on
+//! the current thread is the parent. Cross-thread structure (pool jobs,
+//! scoped workers) is preserved by capturing [`current`] on the
+//! submitting thread and re-installing it on the worker with
+//! [`with_parent`] — `zenesis-par` does this for every task it runs, so
+//! user code never has to.
+//!
+//! Completed spans land in a sharded registry (16 mutex-guarded vectors,
+//! sharded by span id) to keep contention negligible even when many
+//! workers finish spans simultaneously.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Identifier of a span, unique within the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+/// One completed span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Unique id.
+    pub id: SpanId,
+    /// Parent span; `None` for roots.
+    pub parent: Option<SpanId>,
+    /// Dotted span name (`layer.operation`, e.g. `ground.attention`).
+    pub name: Cow<'static, str>,
+    /// Name of the thread the span ran on.
+    pub thread: String,
+    /// Start offset from the process observability epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+const SHARDS: usize = 16;
+
+fn registry() -> &'static [Mutex<Vec<SpanRecord>>; SHARDS] {
+    static REG: OnceLock<[Mutex<Vec<SpanRecord>>; SHARDS]> = OnceLock::new();
+    REG.get_or_init(|| std::array::from_fn(|_| Mutex::new(Vec::new())))
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<SpanId>> = const { RefCell::new(Vec::new()) };
+}
+
+fn thread_name() -> String {
+    thread_local! {
+        static NAME: String = std::thread::current()
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("{:?}", std::thread::current().id()));
+    }
+    NAME.with(Clone::clone)
+}
+
+fn stack_remove(id: SpanId) {
+    STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        if s.last() == Some(&id) {
+            s.pop();
+        } else if let Some(pos) = s.iter().rposition(|x| *x == id) {
+            // Out-of-order drop (guards held across other guards' drops);
+            // keep the stack consistent rather than corrupting parents.
+            s.remove(pos);
+        }
+    });
+}
+
+/// The innermost open span on this thread, if recording is enabled.
+#[inline]
+pub fn current() -> Option<SpanId> {
+    if !crate::enabled() {
+        return None;
+    }
+    STACK.with(|s| s.borrow().last().copied())
+}
+
+/// RAII guard: the span runs from creation until the guard drops.
+#[must_use = "dropping the guard immediately records a zero-length span"]
+pub struct SpanGuard {
+    state: Option<GuardState>,
+}
+
+struct GuardState {
+    id: SpanId,
+    parent: Option<SpanId>,
+    name: Cow<'static, str>,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// The id of the span being recorded; `None` when recording is off.
+    pub fn id(&self) -> Option<SpanId> {
+        self.state.as_ref().map(|s| s.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(st) = self.state.take() else {
+            return;
+        };
+        let dur_ns = st.start.elapsed().as_nanos() as u64;
+        stack_remove(st.id);
+        let rec = SpanRecord {
+            id: st.id,
+            parent: st.parent,
+            name: st.name,
+            thread: thread_name(),
+            start_ns: st.start.saturating_duration_since(epoch()).as_nanos() as u64,
+            dur_ns,
+        };
+        registry()[st.id.0 as usize % SHARDS].lock().push(rec);
+    }
+}
+
+fn open(name: Cow<'static, str>, parent: Option<SpanId>) -> SpanGuard {
+    let id = SpanId(NEXT_ID.fetch_add(1, Ordering::Relaxed));
+    STACK.with(|s| s.borrow_mut().push(id));
+    SpanGuard {
+        state: Some(GuardState {
+            id,
+            parent,
+            name,
+            start: Instant::now(),
+        }),
+    }
+}
+
+/// Open a span under this thread's current span (an inert guard when
+/// recording is off).
+pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { state: None };
+    }
+    let parent = STACK.with(|s| s.borrow().last().copied());
+    open(name.into(), parent)
+}
+
+/// Open a span under an explicit parent (manual cross-thread
+/// attribution; prefer [`with_parent`] when wrapping whole closures).
+pub fn span_under(name: impl Into<Cow<'static, str>>, parent: Option<SpanId>) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { state: None };
+    }
+    open(name.into(), parent)
+}
+
+/// Run `f` with `parent` installed at the top of this thread's span
+/// stack, so spans opened inside `f` attribute to `parent` even though
+/// it was opened on another thread. No-op wrapper when recording is off
+/// or `parent` is `None`.
+pub fn with_parent<R>(parent: Option<SpanId>, f: impl FnOnce() -> R) -> R {
+    if !crate::enabled() {
+        return f();
+    }
+    let Some(p) = parent else {
+        return f();
+    };
+    STACK.with(|s| s.borrow_mut().push(p));
+    // Pop on unwind too, so a panicking task doesn't poison the worker
+    // thread's stack for subsequent tasks.
+    struct Pop(SpanId);
+    impl Drop for Pop {
+        fn drop(&mut self) {
+            stack_remove(self.0);
+        }
+    }
+    let _pop = Pop(p);
+    f()
+}
+
+/// Time `f` under a span named `name`.
+///
+/// The measured milliseconds are returned **regardless of the recording
+/// level** — pipeline traces carry wall times even with observability
+/// off — but the span itself is only recorded when enabled, so the off
+/// path allocates and locks nothing.
+pub fn timed<R>(name: impl Into<Cow<'static, str>>, f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let guard = span(name);
+    let r = f();
+    drop(guard);
+    (r, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Copy of every completed span, ordered by start time.
+pub fn snapshot() -> Vec<SpanRecord> {
+    let mut out = Vec::new();
+    for shard in registry() {
+        out.extend(shard.lock().iter().cloned());
+    }
+    out.sort_by_key(|r| (r.start_ns, r.id));
+    out
+}
+
+/// Discard all recorded spans.
+pub fn reset_spans() {
+    for shard in registry() {
+        shard.lock().clear();
+    }
+}

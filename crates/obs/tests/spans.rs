@@ -1,0 +1,113 @@
+//! Integration tests for span nesting and cross-thread parent
+//! attribution. Every test runs at `ObsLevel::Spans`; tests use unique
+//! span names (and filter snapshots by them) so they stay independent
+//! even though the registry is process-global and tests run
+//! concurrently.
+
+use std::collections::HashMap;
+
+use zenesis_obs::{snapshot, span, with_parent, ObsLevel, SpanId, SpanRecord};
+
+fn ensure_spans() {
+    zenesis_obs::set_level(ObsLevel::Spans);
+}
+
+fn by_name(spans: &[SpanRecord], name: &str) -> SpanRecord {
+    let hits: Vec<&SpanRecord> = spans.iter().filter(|s| s.name == name).collect();
+    assert_eq!(hits.len(), 1, "expected exactly one span named {name}");
+    hits[0].clone()
+}
+
+#[test]
+fn same_thread_nesting_builds_a_chain() {
+    ensure_spans();
+    {
+        let _a = span("t1.outer");
+        {
+            let _b = span("t1.middle");
+            let _c = span("t1.inner");
+        }
+        let _d = span("t1.sibling");
+    }
+    let spans = snapshot();
+    let outer = by_name(&spans, "t1.outer");
+    let middle = by_name(&spans, "t1.middle");
+    let inner = by_name(&spans, "t1.inner");
+    let sibling = by_name(&spans, "t1.sibling");
+    assert_eq!(middle.parent, Some(outer.id));
+    assert_eq!(inner.parent, Some(middle.id));
+    assert_eq!(sibling.parent, Some(outer.id));
+    assert!(inner.dur_ns <= middle.dur_ns);
+    assert!(middle.dur_ns <= outer.dur_ns);
+}
+
+#[test]
+fn with_parent_attributes_across_threads() {
+    ensure_spans();
+    let parent_id: SpanId;
+    {
+        let root = span("t2.root");
+        parent_id = root.id().expect("root id");
+        let here = zenesis_obs::current();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    with_parent(here, move || {
+                        let _s = span(format!("t2.worker{i}"));
+                    })
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+    let spans = snapshot();
+    let root = by_name(&spans, "t2.root");
+    assert_eq!(root.id, parent_id);
+    for i in 0..4 {
+        let w = by_name(&spans, &format!("t2.worker{i}"));
+        assert_eq!(w.parent, Some(root.id), "worker {i} parent");
+        assert_ne!(w.thread, root.thread, "worker {i} ran on a pool thread");
+    }
+}
+
+#[test]
+fn concurrent_spans_on_many_threads_stay_separate() {
+    ensure_spans();
+    // Each thread opens its own root + child; children must attach to
+    // the root on the *same* thread, never to a sibling thread's root.
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let _r = span(format!("t3.root{i}"));
+                let _c = span(format!("t3.child{i}"));
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let spans = snapshot();
+    let roots: HashMap<SpanId, usize> = (0..8)
+        .map(|i| (by_name(&spans, &format!("t3.root{i}")).id, i))
+        .collect();
+    for i in 0..8 {
+        let child = by_name(&spans, &format!("t3.child{i}"));
+        let parent = child.parent.expect("child has a parent");
+        assert_eq!(roots.get(&parent), Some(&i), "child {i} crossed threads");
+    }
+}
+
+#[test]
+fn timed_records_span_and_returns_ms() {
+    ensure_spans();
+    let (v, ms) = zenesis_obs::timed("t4.timed", || {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        7
+    });
+    assert_eq!(v, 7);
+    assert!(ms >= 1.0, "timed must measure the sleep, got {ms} ms");
+    let rec = by_name(&snapshot(), "t4.timed");
+    assert!(rec.dur_ns >= 1_000_000);
+}

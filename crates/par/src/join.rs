@@ -17,8 +17,11 @@ where
     if current_threads() <= 1 {
         return (a(), b());
     }
+    // Spans opened inside `b` on the worker thread attribute to the span
+    // that called `join`, not to a detached root.
+    let parent = zenesis_obs::current();
     std::thread::scope(|s| {
-        let hb = s.spawn(b);
+        let hb = s.spawn(move || zenesis_obs::with_parent(parent, b));
         let ra = a();
         let rb = hb.join().expect("join closure panicked");
         (ra, rb)

@@ -6,8 +6,15 @@
 //! fed from a crossbeam MPMC channel, with a [`ThreadPool::wait_idle`]
 //! barrier built from a mutex + condvar (the classic pattern from *Rust
 //! Atomics and Locks*, using parking_lot primitives).
+//!
+//! With `ZENESIS_OBS=full` the pool reports queue depth
+//! (`par.pool.queue_depth`), submit-to-start wait and task run latency
+//! (`par.pool.wait.lat`, `par.pool.task.lat`), and per-worker busy time
+//! (`par.pool.worker{i}.busy_ns`). At any enabled level, jobs inherit the
+//! submitter's span so their own spans attribute correctly.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
@@ -42,8 +49,13 @@ impl ThreadPool {
             let handle = std::thread::Builder::new()
                 .name(format!("zenesis-worker-{i}"))
                 .spawn(move || {
+                    let busy = zenesis_obs::counter(format!("par.pool.worker{i}.busy_ns"));
                     while let Ok(job) = rx.recv() {
+                        let t0 = zenesis_obs::full().then(Instant::now);
                         job();
+                        if let Some(t0) = t0 {
+                            busy.add(t0.elapsed().as_nanos() as u64);
+                        }
                         let mut pending = shared.pending.lock();
                         *pending -= 1;
                         if *pending == 0 {
@@ -80,10 +92,34 @@ impl ThreadPool {
             let mut pending = self.shared.pending.lock();
             *pending += 1;
         }
+        let boxed: Job = if zenesis_obs::enabled() {
+            let parent = zenesis_obs::current();
+            let profiling = zenesis_obs::full();
+            if profiling {
+                zenesis_obs::gauge("par.pool.queue_depth").add(1);
+            }
+            let submitted = Instant::now();
+            Box::new(move || {
+                if profiling {
+                    zenesis_obs::gauge("par.pool.queue_depth").add(-1);
+                    zenesis_obs::record_ms(
+                        "par.pool.wait.lat",
+                        submitted.elapsed().as_secs_f64() * 1e3,
+                    );
+                }
+                let t0 = Instant::now();
+                zenesis_obs::with_parent(parent, job);
+                if profiling {
+                    zenesis_obs::record_ms("par.pool.task.lat", t0.elapsed().as_secs_f64() * 1e3);
+                }
+            })
+        } else {
+            Box::new(job)
+        };
         self.tx
             .as_ref()
             .expect("pool shut down")
-            .send(Box::new(job))
+            .send(boxed)
             .expect("pool workers gone");
     }
 

@@ -22,6 +22,17 @@ pub fn chunk_len(n: usize, workers: usize) -> usize {
     (n.div_ceil(target_chunks)).max(1)
 }
 
+/// Report the chunking decision to the profiler (`ZENESIS_OBS=full`):
+/// `par.chunk.items` is the items-per-chunk distribution and
+/// `par.chunk.count` the chunks-per-call distribution, together showing
+/// whether the heuristic keeps workers busy without counter contention.
+fn note_chunks(chunk: usize, n_chunks: usize) {
+    if zenesis_obs::full() {
+        zenesis_obs::histogram("par.chunk.items").record(chunk as u64);
+        zenesis_obs::histogram("par.chunk.count").record(n_chunks as u64);
+    }
+}
+
 /// Run `f` over every element of `data` in parallel, mutating in place.
 pub fn par_for_each<T, F>(data: &mut [T], f: F)
 where
@@ -47,7 +58,9 @@ where
     }
     let chunk = chunk_len(n, workers);
     let n_chunks = n.div_ceil(chunk);
+    note_chunks(chunk, n_chunks);
     let next = AtomicUsize::new(0);
+    let parent = zenesis_obs::current();
     // Pre-split into disjoint chunks so each worker only touches its claim.
     let chunks: Vec<&mut [T]> = data.chunks_mut(chunk).collect();
     let slots: Vec<parking_lot::Mutex<Option<&mut [T]>>> = chunks
@@ -56,16 +69,18 @@ where
         .collect();
     std::thread::scope(|s| {
         for _ in 0..workers.min(n_chunks) {
-            s.spawn(|| loop {
-                let c = next.fetch_add(1, Ordering::Relaxed);
-                if c >= n_chunks {
-                    break;
-                }
-                let slice = slots[c].lock().take().expect("chunk claimed twice");
-                let base = c * chunk;
-                for (off, v) in slice.iter_mut().enumerate() {
-                    f(base + off, v);
-                }
+            s.spawn(|| {
+                zenesis_obs::with_parent(parent, || loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let slice = slots[c].lock().take().expect("chunk claimed twice");
+                    let base = c * chunk;
+                    for (off, v) in slice.iter_mut().enumerate() {
+                        f(base + off, v);
+                    }
+                })
             });
         }
     });
@@ -96,7 +111,9 @@ where
     }
     let chunk = chunk_len(n, workers);
     let n_chunks = n.div_ceil(chunk);
+    note_chunks(chunk, n_chunks);
     let next = AtomicUsize::new(0);
+    let parent = zenesis_obs::current();
     let mut out: Vec<MaybeUninit<U>> = Vec::with_capacity(n);
     // SAFETY: every slot is written exactly once below before assume_init.
     #[allow(clippy::uninit_vec)]
@@ -110,16 +127,18 @@ where
             .collect();
         std::thread::scope(|s| {
             for _ in 0..workers.min(n_chunks) {
-                s.spawn(|| loop {
-                    let c = next.fetch_add(1, Ordering::Relaxed);
-                    if c >= n_chunks {
-                        break;
-                    }
-                    let slice = out_slots[c].lock().take().expect("chunk claimed twice");
-                    let base = c * chunk;
-                    for (off, slot) in slice.iter_mut().enumerate() {
-                        slot.write(f(base + off));
-                    }
+                s.spawn(|| {
+                    zenesis_obs::with_parent(parent, || loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let slice = out_slots[c].lock().take().expect("chunk claimed twice");
+                        let base = c * chunk;
+                        for (off, slot) in slice.iter_mut().enumerate() {
+                            slot.write(f(base + off));
+                        }
+                    })
                 });
             }
         });
@@ -156,28 +175,32 @@ where
     }
     let chunk = chunk_len(n, workers);
     let n_chunks = n.div_ceil(chunk);
+    note_chunks(chunk, n_chunks);
     let next = AtomicUsize::new(0);
+    let parent = zenesis_obs::current();
     let partials = parking_lot::Mutex::new(Vec::with_capacity(workers));
     std::thread::scope(|s| {
         for _ in 0..workers.min(n_chunks) {
             s.spawn(|| {
-                let mut acc = identity();
-                let mut did_work = false;
-                loop {
-                    let c = next.fetch_add(1, Ordering::Relaxed);
-                    if c >= n_chunks {
-                        break;
+                zenesis_obs::with_parent(parent, || {
+                    let mut acc = identity();
+                    let mut did_work = false;
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        did_work = true;
+                        let lo = c * chunk;
+                        let hi = (lo + chunk).min(n);
+                        for i in lo..hi {
+                            acc = fold(acc, i);
+                        }
                     }
-                    did_work = true;
-                    let lo = c * chunk;
-                    let hi = (lo + chunk).min(n);
-                    for i in lo..hi {
-                        acc = fold(acc, i);
+                    if did_work {
+                        partials.lock().push(acc);
                     }
-                }
-                if did_work {
-                    partials.lock().push(acc);
-                }
+                })
             });
         }
     });
@@ -206,20 +229,24 @@ where
     }
     let rows_per_band = chunk_len(rows, workers);
     let n_bands = rows.div_ceil(rows_per_band);
+    note_chunks(rows_per_band, n_bands);
     let next = AtomicUsize::new(0);
+    let parent = zenesis_obs::current();
     let bands: Vec<parking_lot::Mutex<Option<&mut [T]>>> = data
         .chunks_mut(rows_per_band * row_len)
         .map(|c| parking_lot::Mutex::new(Some(c)))
         .collect();
     std::thread::scope(|s| {
         for _ in 0..workers.min(n_bands) {
-            s.spawn(|| loop {
-                let b = next.fetch_add(1, Ordering::Relaxed);
-                if b >= n_bands {
-                    break;
-                }
-                let band = bands[b].lock().take().expect("band claimed twice");
-                f(b * rows_per_band, band);
+            s.spawn(|| {
+                zenesis_obs::with_parent(parent, || loop {
+                    let b = next.fetch_add(1, Ordering::Relaxed);
+                    if b >= n_bands {
+                        break;
+                    }
+                    let band = bands[b].lock().take().expect("band claimed twice");
+                    f(b * rows_per_band, band);
+                })
             });
         }
     });

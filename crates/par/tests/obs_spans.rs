@@ -1,0 +1,123 @@
+//! The parallel runtime must carry span parenthood across thread
+//! boundaries: a span opened inside a pool task, a `join` branch, or a
+//! data-parallel closure attributes to the span that was open on the
+//! submitting thread. Tests filter snapshots by their own root span id,
+//! so they are immune to spans recorded by other tests in this process.
+
+use zenesis_obs::{ObsLevel, SpanId, SpanRecord};
+use zenesis_par::ThreadPool;
+
+fn ensure_spans() {
+    zenesis_obs::set_level(ObsLevel::Spans);
+}
+
+fn children_of(root: SpanId) -> Vec<SpanRecord> {
+    zenesis_obs::snapshot()
+        .into_iter()
+        .filter(|s| s.parent == Some(root))
+        .collect()
+}
+
+#[test]
+fn pool_tasks_attribute_to_submitting_span() {
+    ensure_spans();
+    let pool = ThreadPool::new(3);
+    let root_id;
+    {
+        let root = zenesis_obs::span("pool.test.root");
+        root_id = root.id().expect("recording on");
+        for i in 0..6 {
+            pool.execute(move || {
+                let _s = zenesis_obs::span(format!("pool.test.task{i}"));
+            });
+        }
+        pool.wait_idle();
+    }
+    let kids = children_of(root_id);
+    assert_eq!(kids.len(), 6, "every pool task must attach to the root");
+    for k in &kids {
+        assert!(k.name.starts_with("pool.test.task"), "{}", k.name);
+    }
+}
+
+#[test]
+fn join_attributes_both_branches() {
+    ensure_spans();
+    let root_id;
+    {
+        let root = zenesis_obs::span("join.test.root");
+        root_id = root.id().expect("recording on");
+        let (a, b) = zenesis_par::join(
+            || {
+                let _s = zenesis_obs::span("join.test.left");
+                1
+            },
+            || {
+                let _s = zenesis_obs::span("join.test.right");
+                2
+            },
+        );
+        assert_eq!((a, b), (1, 2));
+    }
+    let names: Vec<String> = children_of(root_id)
+        .iter()
+        .map(|s| s.name.to_string())
+        .collect();
+    assert!(names.contains(&"join.test.left".to_string()), "{names:?}");
+    assert!(names.contains(&"join.test.right".to_string()), "{names:?}");
+}
+
+#[test]
+fn par_map_range_attributes_every_chunk() {
+    ensure_spans();
+    let root_id;
+    let out;
+    {
+        let root = zenesis_obs::span("pmr.test.root");
+        root_id = root.id().expect("recording on");
+        out = zenesis_par::par_map_range(64, |i| {
+            let _s = zenesis_obs::span("pmr.test.item");
+            i * 2
+        });
+    }
+    assert_eq!(out.len(), 64);
+    assert!(out.iter().enumerate().all(|(i, v)| *v == i * 2));
+    let kids = children_of(root_id);
+    assert_eq!(
+        kids.len(),
+        64,
+        "all 64 item spans must attach to the root regardless of which \
+         worker ran them"
+    );
+    assert!(kids.iter().all(|k| k.name == "pmr.test.item"));
+}
+
+#[test]
+fn full_level_pool_metrics_are_recorded() {
+    ensure_spans();
+    zenesis_obs::set_level(ObsLevel::Full);
+    let pool = ThreadPool::new(2);
+    for _ in 0..8 {
+        pool.execute(|| {
+            std::hint::black_box(0u64);
+        });
+    }
+    pool.wait_idle();
+    zenesis_obs::set_level(ObsLevel::Spans);
+    let snap = zenesis_obs::metrics_snapshot();
+    let hist_count = |n: &str| {
+        snap.histograms
+            .iter()
+            .find(|(k, _)| k == n)
+            .map(|(_, s)| s.count)
+            .unwrap_or_else(|| panic!("missing histogram {n}"))
+    };
+    assert!(hist_count("par.pool.task.lat") >= 8);
+    assert!(hist_count("par.pool.wait.lat") >= 8);
+    assert!(
+        snap.counters
+            .iter()
+            .any(|(k, v)| k.starts_with("par.pool.worker") && k.ends_with(".busy_ns") && *v > 0),
+        "at least one worker must accumulate busy time"
+    );
+}

@@ -81,7 +81,7 @@ impl MemoryBank {
         slice: &Image<f32>,
         fallback: impl FnOnce() -> BitMask,
     ) -> BitMask {
-        let emb = sam.encode(slice);
+        let emb = sam.encode_cached(slice);
         let mask = match self.consensus() {
             Some(prior) if prior.count() > 0 => {
                 let cfg: &SamConfig = &sam.config;

@@ -1,5 +1,8 @@
 //! The assembled promptable segmenter.
 
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use zenesis_image::{BitMask, Image};
 
@@ -106,19 +109,106 @@ pub struct MaskPrediction {
     pub level: usize,
 }
 
+/// Capacity of the per-`Sam` embedding cache: enough for the working set
+/// of re-prompting sessions and short temporal windows without holding a
+/// whole volume's embeddings alive.
+const EMBED_CACHE_CAP: usize = 8;
+
+struct CacheEntry {
+    hash: u64,
+    sigma: f32,
+    /// Full copy of the source image so a (vanishingly unlikely) hash
+    /// collision degrades to a miss, never to a wrong embedding.
+    img: Image<f32>,
+    emb: Arc<ImageEmbedding>,
+}
+
+/// FNV-1a over the image dimensions and raw pixel bit patterns.
+fn hash_image(img: &Image<f32>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for d in [img.width() as u64, img.height() as u64] {
+        for b in d.to_le_bytes() {
+            eat(b);
+        }
+    }
+    for v in img.as_slice() {
+        for b in v.to_bits().to_le_bytes() {
+            eat(b);
+        }
+    }
+    h
+}
+
 /// The promptable segmenter. Encode once, decode many prompts.
+///
+/// [`Sam::encode_cached`] memoizes embeddings in a small LRU keyed by
+/// image content, so re-prompting the same adapted image (Mode A
+/// sessions, temporal refinement) skips the expensive encode pass.
 pub struct Sam {
     pub config: SamConfig,
+    cache: Mutex<Vec<CacheEntry>>,
 }
 
 impl Sam {
     pub fn new(config: SamConfig) -> Self {
-        Sam { config }
+        Sam {
+            config,
+            cache: Mutex::new(Vec::new()),
+        }
     }
 
     /// Encode an adapted image (the expensive pass, done once per image).
     pub fn encode(&self, img: &Image<f32>) -> ImageEmbedding {
+        let _s = zenesis_obs::span("sam.encode");
         ImageEmbedding::encode(img, self.config.encode_sigma)
+    }
+
+    /// Encode with memoization: identical image content (and encode
+    /// sigma) returns the cached embedding. Hit/miss counts appear as the
+    /// `sam.embed_cache.hit` / `sam.embed_cache.miss` metrics when
+    /// observability is enabled; the cache itself is active at every
+    /// level, and is deterministic, so outputs do not depend on
+    /// `ZENESIS_OBS`.
+    pub fn encode_cached(&self, img: &Image<f32>) -> Arc<ImageEmbedding> {
+        let sigma = self.config.encode_sigma;
+        let h = hash_image(img);
+        {
+            let mut cache = self.cache.lock();
+            if let Some(pos) = cache
+                .iter()
+                .position(|e| e.hash == h && e.sigma == sigma && e.img == *img)
+            {
+                let entry = cache.remove(pos);
+                let emb = Arc::clone(&entry.emb);
+                cache.push(entry); // most-recently-used goes last
+                if zenesis_obs::enabled() {
+                    zenesis_obs::counter("sam.embed_cache.hit").inc();
+                }
+                return emb;
+            }
+        }
+        // Encode outside the lock: concurrent misses on different images
+        // proceed in parallel (same-image races redundantly encode, which
+        // is benign because encoding is deterministic).
+        if zenesis_obs::enabled() {
+            zenesis_obs::counter("sam.embed_cache.miss").inc();
+        }
+        let emb = Arc::new(self.encode(img));
+        let mut cache = self.cache.lock();
+        if cache.len() >= EMBED_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push(CacheEntry {
+            hash: h,
+            sigma,
+            img: img.clone(),
+            emb: Arc::clone(&emb),
+        });
+        emb
     }
 
     /// Decode a prompt set into multimask predictions, best first.
@@ -129,6 +219,7 @@ impl Sam {
         if prompts.is_empty() {
             return Vec::new();
         }
+        let _s = zenesis_obs::span("sam.decode");
         let bbox = prompts.box_constraint();
         let fg = prompts.fg_points();
         let bg = prompts.bg_points();
@@ -310,6 +401,42 @@ mod tests {
         // FastSAM collapses multimask to a single tolerance.
         assert_eq!(fast.tolerances[0], fast.tolerances[2]);
         assert_ne!(full.tolerances[0], full.tolerances[2]);
+    }
+
+    #[test]
+    fn encode_cached_matches_encode_and_reuses() {
+        let sam = Sam::new(SamConfig::default());
+        let img = disk_image();
+        let direct = sam.encode(&img);
+        let a = sam.encode_cached(&img);
+        let b = sam.encode_cached(&img);
+        assert!(Arc::ptr_eq(&a, &b), "second call must hit the cache");
+        // Same mask from cached and direct embeddings.
+        let ps = PromptSet::point(32, 32);
+        assert_eq!(sam.segment(&a, &ps), sam.segment(&direct, &ps));
+        // A different image misses and gets its own embedding.
+        let other = Image::<f32>::filled(64, 64, 0.3);
+        let c = sam.encode_cached(&other);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn encode_cache_evicts_least_recently_used() {
+        let sam = Sam::new(SamConfig::default());
+        let imgs: Vec<Image<f32>> = (0..EMBED_CACHE_CAP + 1)
+            .map(|i| Image::<f32>::filled(16, 16, i as f32 / 16.0))
+            .collect();
+        let first = sam.encode_cached(&imgs[0]);
+        for img in &imgs[1..] {
+            let _ = sam.encode_cached(img);
+        }
+        // imgs[0] was the oldest entry and must have been evicted.
+        let again = sam.encode_cached(&imgs[0]);
+        assert!(!Arc::ptr_eq(&first, &again));
+        // The most recent insert is still cached.
+        let last = sam.encode_cached(&imgs[EMBED_CACHE_CAP]);
+        let last2 = sam.encode_cached(&imgs[EMBED_CACHE_CAP]);
+        assert!(Arc::ptr_eq(&last, &last2));
     }
 
     #[test]

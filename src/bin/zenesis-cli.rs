@@ -18,7 +18,14 @@
 //!
 //! # print example job specs
 //! cargo run --release --bin zenesis-cli -- --examples
+//!
+//! # write a span/metric trace alongside the job result
+//! cargo run --release --bin zenesis-cli -- job.json --trace-out trace.json
 //! ```
+//!
+//! `--trace-out <path>` records the observability trace (spans + metrics,
+//! see `docs/OBSERVABILITY.md`) as JSON; it implies `ZENESIS_OBS=spans`
+//! unless the environment sets a level explicitly.
 
 use std::io::Read;
 
@@ -76,8 +83,32 @@ fn examples() -> Vec<(&'static str, JobSpec)> {
     ]
 }
 
+/// Write the observability trace, reporting failures without aborting —
+/// the job result already went to stdout.
+fn write_trace(path: &str) {
+    let json = zenesis::obs::export::trace_json_string(true);
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("trace written to {path}"),
+        Err(e) => eprintln!("failed to write trace {path}: {e}"),
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // --trace-out <path>: strip before positional-argument handling so it
+    // never masquerades as the job file.
+    let trace_out: Option<String> = args.iter().position(|a| a == "--trace-out").map(|i| {
+        args.remove(i); // the flag
+        if i < args.len() {
+            args.remove(i) // the path
+        } else {
+            eprintln!("--trace-out requires a path");
+            std::process::exit(2);
+        }
+    });
+    if trace_out.is_some() && std::env::var_os("ZENESIS_OBS").is_none() {
+        zenesis::obs::set_level(zenesis::obs::ObsLevel::Spans);
+    }
     // --examples: print sample job specs and exit.
     if args.iter().any(|a| a == "--examples") {
         for (label, spec) in examples() {
@@ -108,6 +139,9 @@ fn main() {
             "{}",
             serde_json::to_string_pretty(&run_job(&spec)).expect("results serialize")
         );
+        if let Some(path) = &trace_out {
+            write_trace(path);
+        }
         return;
     }
     // Default: a JSON job from file argument or stdin.
@@ -130,4 +164,7 @@ fn main() {
         }
     };
     println!("{}", run_job_json(&json));
+    if let Some(path) = &trace_out {
+        write_trace(path);
+    }
 }

@@ -10,6 +10,7 @@
 //!
 //! | module | crate | role |
 //! |---|---|---|
+//! | [`obs`] | `zenesis-obs` | observability: spans, metrics, traces |
 //! | [`par`] | `zenesis-par` | from-scratch parallel runtime |
 //! | [`image`] | `zenesis-image` | scientific image substrate |
 //! | [`adapt`] | `zenesis-adapt` | data-readiness adaptation |
@@ -46,6 +47,7 @@ pub use zenesis_ground as ground;
 pub use zenesis_image as image;
 pub use zenesis_metrics as metrics;
 pub use zenesis_nn as nn;
+pub use zenesis_obs as obs;
 pub use zenesis_par as par;
 pub use zenesis_sam as sam;
 pub use zenesis_tensor as tensor;

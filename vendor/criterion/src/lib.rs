@@ -1,0 +1,256 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark harness exposing the Criterion API this
+//! workspace uses: [`Criterion::benchmark_group`], `sample_size`,
+//! `throughput`, `bench_function`, `bench_with_input`, [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Each benchmark is warmed up briefly, then
+//! timed for the configured number of samples; median / mean / min are
+//! printed per benchmark. No statistical analysis, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id (for groups benchmarking one function at many
+    /// parameter values).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the workload.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, once per sample, after a short warmup.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: run until ~50ms or 3 iterations, whichever first.
+        let warm_start = Instant::now();
+        for _ in 0..3 {
+            black_box(routine());
+            if warm_start.elapsed() > Duration::from_millis(50) {
+                break;
+            }
+        }
+        self.results.clear();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(routine());
+            self.results.push(t.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        let mut sorted = b.results.clone();
+        sorted.sort();
+        let median = sorted
+            .get(sorted.len() / 2)
+            .copied()
+            .unwrap_or_default();
+        let min = sorted.first().copied().unwrap_or_default();
+        let mean = if sorted.is_empty() {
+            Duration::ZERO
+        } else {
+            sorted.iter().sum::<Duration>() / sorted.len() as u32
+        };
+        let mut line = format!(
+            "{}/{:<40} median {:>12}  mean {:>12}  min {:>12}",
+            self.name,
+            id,
+            fmt_duration(median),
+            fmt_duration(mean),
+            fmt_duration(min)
+        );
+        if let Some(t) = self.throughput {
+            let per_sec = |n: u64| n as f64 / median.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  thrpt {:.1} elem/s", per_sec(n)))
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  thrpt {:.1} B/s", per_sec(n)))
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.to_string(), &mut f);
+        self
+    }
+
+    /// Benchmark a closure that receives `input` by reference.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a closure outside of any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).bench_function("", f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo passes --bench (and test filters) to bench binaries;
+            // a plain harness can ignore them. `--test` mode (cargo test
+            // runs benches with --test) should not run full benchmarks.
+            let args: Vec<String> = std::env::args().collect();
+            if args.iter().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("sample");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("scaled", 7), &7u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+}

@@ -1,0 +1,439 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Re-implements the subset of proptest this workspace uses: the
+//! [`strategy::Strategy`] trait with `prop_map`, range and tuple
+//! strategies, `any::<T>()`, `prop::collection::vec`,
+//! `prop::sample::select`, a small regex-subset string strategy, and the
+//! [`proptest!`] / [`prop_assert!`] macros. Inputs are generated from a
+//! deterministic per-test seed (no shrinking, no failure persistence —
+//! every run exercises the same cases, which keeps CI reproducible).
+
+use rand::rngs::StdRng;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            crate::string::generate_matching(self, rng)
+        }
+    }
+}
+
+pub mod string {
+    //! A regex-subset string generator.
+    //!
+    //! Supports exactly the patterns this workspace's tests use: a single
+    //! element — `.` or a character class like `[a-zA-Z_]` — followed by a
+    //! `{min,max}` repetition. Anything else panics loudly.
+
+    use super::StdRng;
+    use rand::Rng;
+
+    fn parse_class(body: &str) -> Vec<(char, char)> {
+        let chars: Vec<char> = body.chars().collect();
+        let mut ranges = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                ranges.push((chars[i], chars[i + 2]));
+                i += 3;
+            } else {
+                ranges.push((chars[i], chars[i]));
+                i += 1;
+            }
+        }
+        ranges
+    }
+
+    /// Characters drawn for the `.` wildcard: a deliberately adversarial
+    /// mix of ASCII text, punctuation, whitespace, and multibyte symbols.
+    const DOT_POOL: &[char] = &[
+        'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '\t', '_', '-', ',', '.', ';', ':', '!', '?',
+        '"', '\'', '(', ')', '[', ']', '{', '}', '/', '\\', '@', '#', '%', '&', '*', '+', '=',
+        '<', '>', '|', '~', '^', 'é', 'ß', 'λ', '汉', '🧪',
+    ];
+
+    /// Generate one string matching `pattern`.
+    pub fn generate_matching(pattern: &str, rng: &mut StdRng) -> String {
+        let (class, rest) = if let Some(stripped) = pattern.strip_prefix('.') {
+            (None, stripped)
+        } else if let Some(stripped) = pattern.strip_prefix('[') {
+            let end = stripped.find(']').expect("unterminated char class");
+            (Some(parse_class(&stripped[..end])), &stripped[end + 1..])
+        } else {
+            panic!("unsupported string strategy pattern {pattern:?}")
+        };
+        let (min, max) = if rest.is_empty() {
+            (1usize, 1usize)
+        } else {
+            let body = rest
+                .strip_prefix('{')
+                .and_then(|r| r.strip_suffix('}'))
+                .unwrap_or_else(|| panic!("unsupported repetition in {pattern:?}"));
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("bad repetition"),
+                    hi.parse().expect("bad repetition"),
+                ),
+                None => {
+                    let n = body.parse().expect("bad repetition");
+                    (n, n)
+                }
+            }
+        };
+        let len = rng.gen_range(min..max + 1);
+        (0..len)
+            .map(|_| match &class {
+                None => DOT_POOL[rng.gen_range(0..DOT_POOL.len())],
+                Some(ranges) => {
+                    let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                    char::from_u32(rng.gen_range(lo as u32..hi as u32 + 1))
+                        .expect("char class range is valid")
+                }
+            })
+            .collect()
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — full-domain strategies for primitives.
+
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::{Rng, RngCore};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// Generate an arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut StdRng) -> f32 {
+            rng.gen_range(-1.0e6f32..1.0e6)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> f64 {
+            rng.gen_range(-1.0e12f64..1.0e12)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::Rng;
+
+    /// An inclusive length range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate `Vec`s whose length lies in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi_inclusive + 1);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies (`prop::sample::select`).
+
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::Rng;
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Pick one of `options` uniformly.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Per-test configuration and deterministic seeding.
+
+    use super::StdRng;
+    use rand::SeedableRng;
+
+    /// Run configuration; only the case count is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases generated per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic generator for one test case: seeded from the test's
+    /// full path and the case index, so runs are reproducible and cases
+    /// are independent.
+    pub fn rng_for(test_path: &str, case: u32) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` runs its
+/// body for every generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run($cfg) $($rest)*);
+    };
+    (@run($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::rng_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
+                { $body }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert within a property test (plain `assert!` — no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality within a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality within a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_strategies_match_patterns() {
+        let mut rng = crate::test_runner::rng_for("self::string", 0);
+        for _ in 0..200 {
+            let s = crate::string::generate_matching("[a-z_]{1,16}", &mut rng);
+            assert!((1..=16).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+            let t = crate::string::generate_matching(".{0,200}", &mut rng);
+            assert!(t.chars().count() <= 200);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_in_range(
+            x in 1usize..6,
+            v in prop::collection::vec(any::<i32>(), 0..10),
+            s in prop::sample::select(vec!["a", "b"]),
+            pair in (0usize..4, -1.0f32..1.0),
+        ) {
+            prop_assert!((1..6).contains(&x));
+            prop_assert!(v.len() < 10);
+            prop_assert!(s == "a" || s == "b");
+            prop_assert!(pair.0 < 4 && (-1.0..1.0).contains(&pair.1));
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace builds in network-isolated environments, so serde is
+//! replaced by a small Value-based serialization framework that keeps the
+//! *user-facing* API the workspace relies on: `#[derive(Serialize,
+//! Deserialize)]` (including `#[serde(tag = "...", rename_all =
+//! "snake_case")]` internally-tagged enums and `#[serde(default)]`
+//! fields), and the `serde_json` functions `to_string`,
+//! `to_string_pretty`, `from_str`, and `Value`.
+//!
+//! Instead of serde's visitor-based data model, everything funnels through
+//! the JSON-shaped [`Value`] tree: `Serialize` renders a value *to* a
+//! [`Value`]; `Deserialize` reconstructs one *from* a [`Value`]. The
+//! `serde_json` stand-in then handles text parsing and printing. This is
+//! less general than real serde (no zero-copy, no non-self-describing
+//! formats) but exactly sufficient for the JSON job contract, config
+//! round-trips, and trace exports in this repository.
+
+mod value;
+
+pub use value::{Map, Number, Value};
+
+#[doc(hidden)]
+pub use value::{write_compact, write_pretty};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Error produced when a [`Value`] does not match the expected shape.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Convenience constructor used by generated code.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+}
+
+/// Render `self` into a JSON-shaped [`Value`] tree.
+pub trait Serialize {
+    /// Convert to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct `Self` from a JSON-shaped [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Convert from a [`Value`], failing with a message on shape mismatch.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// The value to use when a map key is absent, for types that tolerate
+    /// absence without an explicit `#[serde(default)]` (only `Option`).
+    fn missing() -> Option<Self> {
+        None
+    }
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Number(Number::U(*self as u64)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(Number::U(n)) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg(format!("{n} out of range"))),
+                    Value::Number(Number::I(n)) if *n >= 0 => <$t>::try_from(*n as u64)
+                        .map_err(|_| DeError::msg(format!("{n} out of range"))),
+                    other => Err(DeError::msg(format!(
+                        "expected unsigned integer, found {other}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Number(Number::I(*self as i64)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(Number::I(n)) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg(format!("{n} out of range"))),
+                    Value::Number(Number::U(n)) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg(format!("{n} out of range"))),
+                    other => Err(DeError::msg(format!(
+                        "expected integer, found {other}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => Err(DeError::msg(format!("expected number, found {other}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, found {other}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!("expected string, found {other}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+// ---- container impls -------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::msg(format!("expected array, found {other}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::from_value(item)?;
+                }
+                Ok(out)
+            }
+            Value::Array(items) => Err(DeError::msg(format!(
+                "expected array of length {N}, found length {}",
+                items.len()
+            ))),
+            other => Err(DeError::msg(format!("expected array, found {other}"))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) => {
+                        let mut it = items.iter();
+                        let tuple = ($(
+                            $name::from_value(it.next().ok_or_else(|| {
+                                DeError::msg("tuple array too short")
+                            })?)?,
+                        )+);
+                        if it.next().is_some() {
+                            return Err(DeError::msg("tuple array too long"));
+                        }
+                        Ok(tuple)
+                    }
+                    other => Err(DeError::msg(format!("expected array, found {other}"))),
+                }
+            }
+        }
+    };
+}
+
+impl_tuple!(A: 0);
+impl_tuple!(A: 0, B: 1);
+impl_tuple!(A: 0, B: 1, C: 2);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-3i32).to_value()).unwrap(), -3);
+        assert_eq!(f32::from_value(&0.005f32.to_value()).unwrap(), 0.005);
+        assert_eq!(
+            String::from_value(&"hi".to_value()).unwrap(),
+            "hi".to_string()
+        );
+        assert_eq!(
+            Option::<u8>::from_value(&Value::Null).unwrap(),
+            Option::<u8>::None
+        );
+        let arr: [f32; 3] = [0.1, 0.2, 0.3];
+        assert_eq!(<[f32; 3]>::from_value(&arr.to_value()).unwrap(), arr);
+    }
+
+    #[test]
+    fn option_tolerates_missing_key() {
+        assert_eq!(Option::<u8>::missing(), Some(None));
+        assert_eq!(u8::missing(), None);
+    }
+}

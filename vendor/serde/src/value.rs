@@ -1,0 +1,430 @@
+//! The JSON-shaped [`Value`] tree shared by `serde` and `serde_json`.
+
+use std::fmt;
+use std::ops::Index;
+
+/// An insertion-ordered string-keyed map, mirroring `serde_json`'s
+/// `preserve_order` behavior so emitted JSON matches field order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Insert, replacing the value of an existing key in place.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Whether the map holds `key`.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterate keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+}
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative (or any signed) integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// View as `u64` if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U(n) => Some(n),
+            Number::I(n) if n >= 0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// View as `i64` if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::I(n) => Some(n),
+            Number::U(n) => i64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// View as `f64` (always possible, possibly lossy).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(n) => n as f64,
+            Number::I(n) => n as f64,
+            Number::F(f) => f,
+        }
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An insertion-ordered object.
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// `Some(u64)` when the value is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// `Some(i64)` when the value is an integer in `i64` range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// `Some(f64)` for any numeric value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// `Some(&str)` when the value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `Some(bool)` when the value is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// `Some(&[Value])` when the value is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// `Some(&Map)` when the value is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup; `None` for non-objects or absent keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// True when the value is a non-negative integer.
+    pub fn is_u64(&self) -> bool {
+        self.as_u64().is_some()
+    }
+
+    /// True when the value is an integer in `i64` range.
+    pub fn is_i64(&self) -> bool {
+        self.as_i64().is_some()
+    }
+
+    /// True for any numeric value.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// True when the value is a string.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// True when the value is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// True when the value is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+// Comparisons against literals, so tests can write
+// `assert_eq!(v["kind"], "slice")` like with real serde_json.
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! impl_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Number(Number::U(n)) => i128::from(*n) == *other as i128,
+                    Value::Number(Number::I(n)) => i128::from(*n) == *other as i128,
+                    _ => false,
+                }
+            }
+        }
+    )*};
+}
+
+impl_eq_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<f32> for Value {
+    fn eq(&self, other: &f32) -> bool {
+        self.as_f64() == Some(*other as f64)
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn fmt_f64(f: f64, out: &mut String) {
+    if f.is_nan() || f.is_infinite() {
+        // Real serde_json emits null for non-finite floats.
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e15 {
+        out.push_str(&format!("{:.1}", f));
+    } else {
+        out.push_str(&format!("{}", f));
+    }
+}
+
+/// Write `v` as compact JSON. Shared with the `serde_json` stand-in.
+#[doc(hidden)]
+pub fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(Number::U(n)) => out.push_str(&n.to_string()),
+        Value::Number(Number::I(n)) => out.push_str(&n.to_string()),
+        Value::Number(Number::F(f)) => fmt_f64(*f, out),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(k, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Write `v` as two-space-indented JSON. Shared with the `serde_json` stand-in.
+#[doc(hidden)]
+pub fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent + 1);
+    let close = "  ".repeat(indent);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&close);
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                escape_into(k, out);
+                out.push_str(": ");
+                write_pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&close);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_compact(self, &mut s);
+        f.write_str(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_eq() {
+        let mut m = Map::new();
+        m.insert("kind", Value::String("slice".into()));
+        m.insert("depth", Value::Number(Number::U(6)));
+        let v = Value::Object(m);
+        assert_eq!(v["kind"], "slice");
+        assert_eq!(v["depth"], 6);
+        assert!(v["missing"].is_null());
+        assert!(v[3].is_null());
+    }
+
+    #[test]
+    fn display_is_compact_json() {
+        let v = Value::Array(vec![
+            Value::Number(Number::F(1.5)),
+            Value::String("a\"b".into()),
+            Value::Null,
+        ]);
+        assert_eq!(v.to_string(), r#"[1.5,"a\"b",null]"#);
+    }
+
+    #[test]
+    fn whole_floats_keep_decimal_point() {
+        let mut s = String::new();
+        write_compact(&Value::Number(Number::F(2.0)), &mut s);
+        assert_eq!(s, "2.0");
+    }
+}

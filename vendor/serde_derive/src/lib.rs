@@ -1,0 +1,459 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the stand-in `serde::Serialize` / `serde::Deserialize`
+//! traits (Value-based, not visitor-based). Written without `syn`/`quote`:
+//! the item is parsed by walking `proc_macro::TokenTree`s and the impl is
+//! emitted as a string. Supports exactly the shapes this workspace uses:
+//!
+//! - structs with named fields (incl. lifetime generics),
+//! - unit-only enums (optionally `#[serde(rename_all = "snake_case")]`),
+//! - internally tagged enums (`#[serde(tag = "...")]`) whose variants are
+//!   unit or named-field,
+//! - field attributes `#[serde(default)]` and `#[serde(default = "path")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the stand-in `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derive the stand-in `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---- model -----------------------------------------------------------------
+
+#[derive(Default)]
+struct SerdeAttrs {
+    tag: Option<String>,
+    rename_all: Option<String>,
+    default: Option<DefaultKind>,
+}
+
+enum DefaultKind {
+    Trait,
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    default: Option<DefaultKind>,
+}
+
+struct Variant {
+    name: String,
+    fields: Option<Vec<Field>>, // None = unit, Some = named fields
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    generics: String, // raw token text inside <...>, "" when absent
+    attrs: SerdeAttrs,
+    body: Body,
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn lit_str(text: &str) -> String {
+    text.trim_matches('"').to_string()
+}
+
+/// Parse the contents of one `#[serde(...)]` group into `attrs`.
+fn parse_serde_args(group: TokenStream, attrs: &mut SerdeAttrs) {
+    let mut toks = group.into_iter().peekable();
+    while let Some(tok) = toks.next() {
+        let key = match tok {
+            TokenTree::Ident(i) => i.to_string(),
+            _ => continue, // separators
+        };
+        let value = match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                toks.next();
+                match toks.next() {
+                    Some(TokenTree::Literal(l)) => Some(lit_str(&l.to_string())),
+                    other => panic!("expected string after `{key} =`, got {other:?}"),
+                }
+            }
+            _ => None,
+        };
+        match (key.as_str(), value) {
+            ("tag", Some(v)) => attrs.tag = Some(v),
+            ("rename_all", Some(v)) => attrs.rename_all = Some(v),
+            ("default", Some(v)) => attrs.default = Some(DefaultKind::Path(v)),
+            ("default", None) => attrs.default = Some(DefaultKind::Trait),
+            (other, _) => panic!("unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+/// Consume a leading run of attributes, returning any serde args found.
+fn parse_attrs(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        toks.next();
+        let group = match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("expected [...] after #, got {other:?}"),
+        };
+        let mut inner = group.stream().into_iter();
+        if let Some(TokenTree::Ident(name)) = inner.next() {
+            if name.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.next() {
+                    parse_serde_args(args.stream(), &mut attrs);
+                }
+            }
+            // other attributes (doc comments, #[default], ...) are skipped
+        }
+    }
+    attrs
+}
+
+/// Parse `name: Type,` fields from the tokens of a brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let attrs = parse_attrs(&mut toks);
+        // visibility
+        if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            toks.next();
+            if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                toks.next(); // pub(crate) etc.
+            }
+        }
+        let name = match toks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        while let Some(tok) = toks.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    toks.next();
+                    break;
+                }
+                _ => {}
+            }
+            toks.next();
+        }
+        fields.push(Field {
+            name,
+            default: attrs.default,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let _attrs = parse_attrs(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                toks.next();
+                Some(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("tuple enum variant `{name}` is not supported by the serde stand-in")
+            }
+            _ => None,
+        };
+        // trailing comma
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    let attrs = parse_attrs(&mut toks);
+    // visibility
+    if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        toks.next();
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            toks.next();
+        }
+    }
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected struct/enum, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    // generics: collect raw text between < and the matching >
+    let mut generics = String::new();
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        toks.next();
+        let mut depth = 1i32;
+        while let Some(tok) = toks.next() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let t = tok.to_string();
+            // keep lifetimes glued: `'` must touch the following ident
+            if generics.ends_with('\'') || t == "'" {
+                generics.push_str(&t);
+            } else {
+                if !generics.is_empty() {
+                    generics.push(' ');
+                }
+                generics.push_str(&t);
+            }
+        }
+    }
+    let body_group = loop {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(_) => continue, // where clauses etc.
+            None => panic!("item `{name}` has no body"),
+        }
+    };
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_named_fields(body_group.stream())),
+        "enum" => Body::Enum(parse_variants(body_group.stream())),
+        other => panic!("cannot derive for `{other}`"),
+    };
+    Item {
+        name,
+        generics,
+        attrs,
+        body,
+    }
+}
+
+// ---- codegen ---------------------------------------------------------------
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn variant_tag(item: &Item, variant: &str) -> String {
+    match item.attrs.rename_all.as_deref() {
+        Some("snake_case") => snake_case(variant),
+        Some(other) => panic!("unsupported rename_all = {other:?}"),
+        None => variant.to_string(),
+    }
+}
+
+fn impl_header(item: &Item, trait_path: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl {trait_path} for {} ", item.name)
+    } else {
+        format!(
+            "impl<{g}> {trait_path} for {}<{g}> ",
+            item.name,
+            g = item.generics
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut body = String::new();
+    match &item.body {
+        Body::Struct(fields) => {
+            body.push_str("let mut m = serde::Map::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "m.insert(\"{n}\", serde::Serialize::to_value(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            body.push_str("serde::Value::Object(m)\n");
+        }
+        Body::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let tag = variant_tag(item, &v.name);
+                match (&item.attrs.tag, &v.fields) {
+                    (None, None) => {
+                        body.push_str(&format!(
+                            "{}::{} => serde::Value::String(\"{}\".to_string()),\n",
+                            item.name, v.name, tag
+                        ));
+                    }
+                    (None, Some(_)) => panic!(
+                        "externally tagged data-carrying enums are not supported; \
+                         add #[serde(tag = \"...\")]"
+                    ),
+                    (Some(tag_key), fields) => {
+                        let names: Vec<&str> = fields
+                            .iter()
+                            .flatten()
+                            .map(|f| f.name.as_str())
+                            .collect();
+                        let pat = if names.is_empty() {
+                            String::new()
+                        } else {
+                            format!(" {{ {} }}", names.join(", "))
+                        };
+                        body.push_str(&format!("{}::{}{pat} => {{\n", item.name, v.name));
+                        body.push_str("let mut m = serde::Map::new();\n");
+                        body.push_str(&format!(
+                            "m.insert(\"{tag_key}\", serde::Value::String(\"{tag}\".to_string()));\n"
+                        ));
+                        for n in &names {
+                            body.push_str(&format!(
+                                "m.insert(\"{n}\", serde::Serialize::to_value({n}));\n"
+                            ));
+                        }
+                        body.push_str("serde::Value::Object(m)\n}\n");
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "{header}{{\n fn to_value(&self) -> serde::Value {{\n{body}}}\n}}",
+        header = impl_header(item, "serde::Serialize")
+    )
+}
+
+/// Expression producing one struct-literal field from an object `obj`.
+fn field_expr(f: &Field, owner: &str) -> String {
+    let missing_arm = match &f.default {
+        Some(DefaultKind::Trait) => "std::default::Default::default()".to_string(),
+        Some(DefaultKind::Path(p)) => format!("{p}()"),
+        None => format!(
+            "match serde::Deserialize::missing() {{\n\
+             Some(x) => x,\n\
+             None => return Err(serde::DeError::msg(\"missing field `{n}` in {owner}\")),\n\
+             }}",
+            n = f.name
+        ),
+    };
+    format!(
+        "{n}: match obj.get(\"{n}\") {{\n\
+         Some(x) => serde::Deserialize::from_value(x)?,\n\
+         None => {missing_arm},\n\
+         }},\n",
+        n = f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let owner = &item.name;
+    let mut body = String::new();
+    match &item.body {
+        Body::Struct(fields) => {
+            body.push_str(&format!(
+                "let obj = v.as_object().ok_or_else(|| \
+                 serde::DeError::msg(format!(\"expected object for {owner}, found {{v}}\")))?;\n"
+            ));
+            body.push_str(&format!("Ok({owner} {{\n"));
+            for f in fields {
+                body.push_str(&field_expr(f, owner));
+            }
+            body.push_str("})\n");
+        }
+        Body::Enum(variants) => match &item.attrs.tag {
+            None => {
+                body.push_str(&format!(
+                    "let s = v.as_str().ok_or_else(|| \
+                     serde::DeError::msg(format!(\"expected string for {owner}, found {{v}}\")))?;\n"
+                ));
+                body.push_str("match s {\n");
+                for var in variants {
+                    assert!(
+                        var.fields.is_none(),
+                        "externally tagged data-carrying enums are not supported"
+                    );
+                    body.push_str(&format!(
+                        "\"{}\" => Ok({owner}::{}),\n",
+                        variant_tag(item, &var.name),
+                        var.name
+                    ));
+                }
+                body.push_str(&format!(
+                    "other => Err(serde::DeError::msg(format!(\
+                     \"unknown {owner} variant {{other:?}}\"))),\n}}\n"
+                ));
+            }
+            Some(tag_key) => {
+                body.push_str(&format!(
+                    "let obj = v.as_object().ok_or_else(|| \
+                     serde::DeError::msg(format!(\"expected object for {owner}, found {{v}}\")))?;\n\
+                     let tag = obj.get(\"{tag_key}\").and_then(|t| t.as_str()).ok_or_else(|| \
+                     serde::DeError::msg(\"missing `{tag_key}` tag for {owner}\"))?;\n"
+                ));
+                body.push_str("match tag {\n");
+                for var in variants {
+                    let tag = variant_tag(item, &var.name);
+                    match &var.fields {
+                        None => {
+                            body.push_str(&format!("\"{tag}\" => Ok({owner}::{}),\n", var.name));
+                        }
+                        Some(fields) => {
+                            body.push_str(&format!("\"{tag}\" => Ok({owner}::{} {{\n", var.name));
+                            for f in fields {
+                                body.push_str(&field_expr(f, owner));
+                            }
+                            body.push_str("}),\n");
+                        }
+                    }
+                }
+                body.push_str(&format!(
+                    "other => Err(serde::DeError::msg(format!(\
+                     \"unknown {owner} variant {{other:?}}\"))),\n}}\n"
+                ));
+            }
+        },
+    }
+    format!(
+        "{header}{{\n fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n{body}}}\n}}",
+        header = impl_header(item, "serde::Deserialize")
+    )
+}
