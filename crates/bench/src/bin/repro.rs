@@ -6,18 +6,68 @@
 //! cargo run --release -p zenesis-bench --bin repro -- fig3 fig5 fig6 fig7 fig8
 //! cargo run --release -p zenesis-bench --bin repro -- ablation scaling
 //! cargo run --release -p zenesis-bench --bin repro -- tables --trace-out trace.json
+//! cargo run --release -p zenesis-bench --bin repro -- tables \
+//!     --label head --ledger-out BENCH_head.json --events-out events.jsonl
 //! ```
 //!
 //! Figure image outputs land in `out/`. Observability is on by default
 //! (spans level) so the run ends with a per-stage latency table; set
 //! `ZENESIS_OBS=off` to measure without it, or `full` for thread-pool
-//! profiling. `--trace-out <path>` writes the span/metric trace as JSON
-//! (see `docs/OBSERVABILITY.md`).
+//! profiling.
+//!
+//! Observability outputs (see `docs/OBSERVABILITY.md`):
+//! - `--trace-out <path>` writes the span/metric trace as JSON;
+//!   `--trace-format chrome` switches it to Chrome `trace_event` format
+//!   (loadable in Perfetto / `chrome://tracing`).
+//! - `--ledger-out <path>` writes a schema-v1 run ledger (per-stage
+//!   latency, per-method quality, counters) for `zenesis-obs-diff`;
+//!   `--label <name>` names the run inside the ledger.
+//! - `--events-out <path>` writes the structured event stream as JSONL.
+//! - `--quiet` suppresses the `[repro]` narration on stderr (the same
+//!   lines still land in the event stream as `info` records).
 
 use std::path::PathBuf;
+use std::time::Instant;
 
 use zenesis_bench::*;
+use zenesis_core::config::ZenesisConfig;
 use zenesis_core::job::run_job;
+
+/// Narration facade: every progress line goes to the structured event
+/// stream (captured by `--events-out`), and to stderr unless `--quiet`.
+struct Narrator {
+    quiet: bool,
+}
+
+impl Narrator {
+    fn say(&self, msg: impl AsRef<str>) {
+        let msg = msg.as_ref();
+        zenesis_obs::events::info(msg);
+        if !self.quiet {
+            eprintln!("[repro] {msg}");
+        }
+    }
+
+    fn warn(&self, msg: impl AsRef<str>) {
+        let msg = msg.as_ref();
+        zenesis_obs::events::warn(msg);
+        if !self.quiet {
+            eprintln!("[repro] warning: {msg}");
+        }
+    }
+}
+
+/// Pull the value following a `--flag` out of `args` (both removed).
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    args.remove(i);
+    if i < args.len() {
+        Some(args.remove(i))
+    } else {
+        eprintln!("[repro] {flag} requires a value");
+        std::process::exit(2);
+    }
+}
 
 fn main() {
     // Default to span recording so repro prints stage latencies; an
@@ -25,16 +75,25 @@ fn main() {
     if std::env::var_os("ZENESIS_OBS").is_none() {
         zenesis_obs::set_level(zenesis_obs::ObsLevel::Spans);
     }
+    let wall_start = Instant::now();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let trace_out: Option<PathBuf> = args
-        .iter()
-        .position(|a| a == "--trace-out")
-        .map(|i| {
-            let mut tail = args.split_off(i);
-            assert!(tail.len() >= 2, "--trace-out requires a path argument");
-            args.extend(tail.drain(2..));
-            PathBuf::from(tail.pop().expect("path"))
-        });
+    let trace_out = take_flag_value(&mut args, "--trace-out").map(PathBuf::from);
+    let trace_format = take_flag_value(&mut args, "--trace-format").unwrap_or_else(|| "json".into());
+    if !matches!(trace_format.as_str(), "json" | "chrome") {
+        eprintln!("[repro] unknown --trace-format {trace_format:?} (expected json|chrome)");
+        std::process::exit(2);
+    }
+    let ledger_out = take_flag_value(&mut args, "--ledger-out").map(PathBuf::from);
+    let events_out = take_flag_value(&mut args, "--events-out").map(PathBuf::from);
+    let label = take_flag_value(&mut args, "--label").unwrap_or_else(|| "run".into());
+    let quiet = if let Some(i) = args.iter().position(|a| a == "--quiet") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let n = Narrator { quiet };
+
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "tables", "fig3", "fig5", "fig6", "fig7", "fig8", "ablation", "scaling", "job",
@@ -50,7 +109,7 @@ fn main() {
         ["tables", "table1", "table2", "table3", "fig8"].contains(w)
     });
     let eval = needs_tables.then(|| {
-        eprintln!("[repro] running Tables 1-3 evaluation (20 slices x 3 methods)...");
+        n.say("running Tables 1-3 evaluation (20 slices x 3 methods)...");
         run_tables(SIDE, SEED)
     });
 
@@ -58,7 +117,7 @@ fn main() {
         match *w {
             "tables" | "table1" | "table2" | "table3" => {}
             "fig3" => {
-                eprintln!("[repro] fig3: qualitative comparison panels...");
+                n.say("fig3: qualitative comparison panels...");
                 let rows = fig3(&outdir.join("fig3")).expect("fig3 outputs");
                 println!("== Fig. 3: qualitative comparison (IoU vs ground truth) ==");
                 println!("{:<10} {:>12} {:>12}", "Method", "Crystalline", "Amorphous");
@@ -68,7 +127,7 @@ fn main() {
                 println!("(panels written to out/fig3/)\n");
             }
             "fig5" => {
-                eprintln!("[repro] fig5: Further Segment...");
+                n.say("fig5: Further Segment...");
                 let (parent, child, frac) = fig5();
                 println!("== Fig. 5: Further Segment (hierarchical) ==");
                 println!("parent segment pixels: {parent}");
@@ -76,14 +135,14 @@ fn main() {
                 println!("child-inside-parent fraction: {frac:.3}\n");
             }
             "fig6" => {
-                eprintln!("[repro] fig6: Rectify Segmentation...");
+                n.say("fig6: Rectify Segmentation...");
                 let (before, after) = fig6();
                 println!("== Fig. 6: Rectify Segmentation (random boxes + nearest pick) ==");
                 println!("IoU with crippled grounding : {before:.3}");
                 println!("IoU after one rectification : {after:.3}\n");
             }
             "fig7" => {
-                eprintln!("[repro] fig7: temporal box refinement (12-slice volume)...");
+                n.say("fig7: temporal box refinement (12-slice volume)...");
                 println!("== Fig. 7: heuristic temporal box refinement ==");
                 println!(
                     "{:<18} {:>12} {:>10} {:>14}",
@@ -103,7 +162,7 @@ fn main() {
                 }
             }
             "ablation" => {
-                eprintln!("[repro] ablation grid (6 variants x 20 slices)...");
+                n.say("ablation grid (6 variants x 20 slices)...");
                 println!("== Ablation: Zenesis variants (mean IoU) ==");
                 println!("{:<20} {:>12} {:>12}", "Variant", "Crystalline", "Amorphous");
                 for (name, c, a) in ablation(SIDE, SEED) {
@@ -112,18 +171,18 @@ fn main() {
                 println!();
             }
             "scaling" => {
-                eprintln!("[repro] strong scaling of Mode C...");
+                n.say("strong scaling of Mode C...");
                 println!("== Strong scaling: Mode C wall time ==");
                 println!("{:>8} {:>10} {:>9}", "Threads", "Seconds", "Speedup");
                 let rows = scaling(SIDE, SEED, &[1, 2, 4, 8]);
                 let base = rows.first().map(|r| r.1).unwrap_or(1.0);
-                for (n, secs) in rows {
-                    println!("{n:>8} {secs:>10.3} {:>8.2}x", base / secs);
+                for (t, secs) in rows {
+                    println!("{t:>8} {secs:>10.3} {:>8.2}x", base / secs);
                 }
                 println!();
             }
             "analysis" => {
-                eprintln!("[repro] morphometry of the Zenesis segmentations...");
+                n.say("morphometry of the Zenesis segmentations...");
                 println!("== Extension: phase morphometry (from Zenesis masks, 5 nm/px) ==");
                 println!(
                     "{:<12} {:>10} {:>10} {:>12} {:>14} {:>8} {:>11}",
@@ -145,7 +204,7 @@ fn main() {
  as in the paper's catalyst characterization)\n");
             }
             "modalities" => {
-                eprintln!("[repro] cross-modality zero-shot (future work 1)...");
+                n.say("cross-modality zero-shot (future work 1)...");
                 println!("== Extension: cross-modality zero-shot (3 frames each) ==");
                 println!("{:<6} {:>8} {:>8}", "Mod", "IoU", "Recall");
                 for (label, iou, recall) in modalities() {
@@ -154,16 +213,16 @@ fn main() {
                 println!();
             }
             "finetune" => {
-                eprintln!("[repro] fine-tuning transfer (future work 3)...");
+                n.say("fine-tuning transfer (future work 3)...");
                 println!("== Extension: lexicon learning transfer (held-out box recall) ==");
                 println!("{:>10} {:>12}", "Exemplars", "Box recall");
-                for (n, recall) in finetune_transfer(4) {
-                    println!("{n:>10} {recall:>12.3}");
+                for (k, recall) in finetune_transfer(4) {
+                    println!("{k:>10} {recall:>12.3}");
                 }
                 println!();
             }
             "interaction" => {
-                eprintln!("[repro] interaction efficiency (Fig. 6 quantified)...");
+                n.say("interaction efficiency (Fig. 6 quantified)...");
                 println!("== Extension: interaction efficiency (crippled grounding) ==");
                 println!("{:>8} {:>8}", "Clicks", "IoU");
                 for (k, iou) in interaction_efficiency(5) {
@@ -172,14 +231,14 @@ fn main() {
                 println!();
             }
             "job" => {
-                eprintln!("[repro] no-code JSON job round trip...");
+                n.say("no-code JSON job round trip...");
                 let spec = example_job();
                 println!("== No-code job contract ==");
                 println!("request : {}", serde_json::to_string(&spec).unwrap());
                 let result = run_job(&spec);
                 println!("response: {}\n", serde_json::to_string(&result).unwrap());
             }
-            other => eprintln!("[repro] unknown experiment {other:?} (skipped)"),
+            other => n.warn(format!("unknown experiment {other:?} (skipped)")),
         }
     }
 
@@ -187,7 +246,7 @@ fn main() {
         println!("{}", tables_report(e));
         std::fs::create_dir_all(&outdir).ok();
         std::fs::write(outdir.join("tables.csv"), eval_csv(e)).ok();
-        eprintln!("[repro] per-sample CSV written to out/tables.csv");
+        n.say("per-sample CSV written to out/tables.csv");
     }
 
     if zenesis_obs::enabled() {
@@ -197,11 +256,44 @@ fn main() {
             zenesis_metrics::dashboard::render_latency_table(&zenesis_obs::latency_rows())
         );
     }
-    if let Some(path) = trace_out {
-        let json = zenesis_obs::export::trace_json_string(true);
-        match std::fs::write(&path, json) {
-            Ok(()) => eprintln!("[repro] trace written to {}", path.display()),
-            Err(e) => eprintln!("[repro] failed to write trace {}: {e}", path.display()),
+    if let Some(path) = &ledger_out {
+        // The fingerprint covers the pipeline configuration every
+        // experiment above ran with; two ledgers with equal fingerprints
+        // are like-for-like comparable in `zenesis-obs-diff`.
+        let cfg = serde_json::to_string(&ZenesisConfig::default()).expect("config serializes");
+        let ledger = zenesis_ledger::Ledger::capture(
+            &label,
+            &zenesis_ledger::fingerprint(&cfg),
+            SEED,
+            SIDE,
+            wall_start.elapsed().as_secs_f64(),
+            eval.as_ref().map(zenesis_ledger::quality_from_eval).unwrap_or_default(),
+        );
+        match std::fs::write(path, ledger.to_json()) {
+            Ok(()) => n.say(format!("run ledger written to {}", path.display())),
+            Err(e) => n.warn(format!("failed to write ledger {}: {e}", path.display())),
+        }
+    }
+    if let Some(path) = &trace_out {
+        let json = if trace_format == "chrome" {
+            zenesis_obs::export::chrome_trace_string(false)
+        } else {
+            zenesis_obs::export::trace_json_string(true)
+        };
+        match std::fs::write(path, json) {
+            Ok(()) => n.say(format!("{trace_format} trace written to {}", path.display())),
+            Err(e) => n.warn(format!("failed to write trace {}: {e}", path.display())),
+        }
+    }
+    if let Some(path) = &events_out {
+        let dropped = zenesis_obs::events::dropped_events();
+        if dropped > 0 {
+            n.warn(format!("event buffer overflowed; {dropped} oldest events dropped"));
+        }
+        // Written last so the drop warning itself makes it into the file.
+        match std::fs::write(path, zenesis_obs::events::events_jsonl()) {
+            Ok(()) => n.say(format!("event stream written to {}", path.display())),
+            Err(e) => n.warn(format!("failed to write events {}: {e}", path.display())),
         }
     }
 }

@@ -172,6 +172,27 @@ pub enum JobResult {
 /// Execute a job.
 pub fn run_job(spec: &JobSpec) -> JobResult {
     let _root = zenesis_obs::span("job.run");
+    let mode = match spec {
+        JobSpec::Interactive { .. } => "interactive",
+        JobSpec::Batch { .. } => "batch",
+        JobSpec::Evaluate { .. } => "evaluate",
+    };
+    // The clock exists only when recording: job timing is observability
+    // payload, not part of the result, so `off` must cost nothing.
+    let started = zenesis_obs::enabled().then(std::time::Instant::now);
+    zenesis_obs::events::emit(zenesis_obs::events::Event::JobStart { mode: mode.into() });
+    let result = run_job_inner(spec);
+    if let Some(t0) = started {
+        zenesis_obs::events::emit(zenesis_obs::events::Event::JobEnd {
+            mode: mode.into(),
+            ok: !matches!(result, JobResult::Error { .. }),
+            dur_ms: t0.elapsed().as_secs_f64() * 1e3,
+        });
+    }
+    result
+}
+
+fn run_job_inner(spec: &JobSpec) -> JobResult {
     match spec {
         JobSpec::Interactive {
             input,

@@ -111,7 +111,16 @@ impl Zenesis {
         let (w, h) = adapted.dims();
         let boxes = random_boxes(w, h, n_candidates, criteria, seed);
         let candidates = self.decode_candidates(adapted, &boxes);
-        select_nearest(candidates, click)
+        let picked = select_nearest(candidates, click);
+        if zenesis_obs::enabled() {
+            zenesis_obs::events::emit(zenesis_obs::events::Event::RectifyPick {
+                x: click.x,
+                y: click.y,
+                candidates: n_candidates,
+                picked_pixels: picked.as_ref().map_or(0, |c| c.mask.count() as u64),
+            });
+        }
+        picked
     }
 }
 

@@ -167,9 +167,29 @@ impl Zenesis {
     pub fn segment_volume<T: Pixel>(&self, vol: &Volume<T>, prompt: &str) -> VolumeResult {
         let _root = zenesis_obs::span("pipeline.segment_volume");
         let depth = vol.depth();
-        // Stage 1: per-slice pipeline (parallel over slices).
+        // Stage 1: per-slice pipeline (parallel over slices). Workers
+        // tick a shared progress counter and, when recording, emit one
+        // `slice.done` event with per-slice latency, throughput, and ETA
+        // — the live-telemetry feed for long Mode B batches. The timing
+        // clock and mask count are only computed when recording, so
+        // `ZENESIS_OBS=off` adds a single atomic add per slice.
+        let progress = zenesis_par::Progress::new(depth);
         let slices: Vec<SliceResult> = zenesis_par::par_map_range(depth, |z| {
-            self.segment_slice(vol.slice(z), prompt)
+            let t0 = zenesis_obs::enabled().then(std::time::Instant::now);
+            let r = self.segment_slice(vol.slice(z), prompt);
+            progress.tick();
+            if let Some(t0) = t0 {
+                zenesis_obs::events::emit(zenesis_obs::events::Event::SliceDone {
+                    index: z,
+                    done: progress.done_clamped(),
+                    total: depth,
+                    lat_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    mask_pixels: r.combined.count() as u64,
+                    rate: progress.rate(),
+                    eta_s: progress.eta_secs(),
+                });
+            }
+            r
         });
         // Stage 2: temporal refinement over the primary (highest-score)
         // boxes.
@@ -180,6 +200,14 @@ impl Zenesis {
             .collect();
         let (used, events, window_dims) = refine_boxes(&raw_boxes, &self.config.temporal);
         drop(refine_span);
+        if zenesis_obs::enabled() {
+            for e in events.iter().filter(|e| e.corrected) {
+                zenesis_obs::events::emit(zenesis_obs::events::Event::TemporalReplace {
+                    slice: e.slice,
+                    had_detection: e.raw_box.is_some(),
+                });
+            }
+        }
         // Stage 3: decode masks with the refined primary box plus the
         // secondary (non-primary) boxes that pass the same size screen.
         let _decode = zenesis_obs::span("temporal.decode");

@@ -1,0 +1,396 @@
+//! Structured event stream: a bounded, lock-cheap JSONL log of typed
+//! pipeline events.
+//!
+//! Spans answer *where time went*; events answer *what happened, in
+//! order*. Long Mode B volume runs emit a [`Event::SliceDone`] per slice
+//! (live progress with rate and ETA), the temporal heuristic reports each
+//! box replacement, rectification reports what the user's click picked,
+//! and the job layer brackets every run with `job.start` / `job.end`.
+//! The `repro` harness and `zenesis-cli` serialize the stream with
+//! `--events-out events.jsonl` — one JSON object per line, ready for
+//! `jq`/`grep` (see `docs/OBSERVABILITY.md` for the taxonomy).
+//!
+//! ## Gating and cost
+//!
+//! Recording obeys the same `ZENESIS_OBS` atomic as spans: [`emit`] is a
+//! single relaxed load plus an early return when the level is `off`, so
+//! hot paths may call it unconditionally. High-volume events
+//! (`cache.{hit,miss}`) are emitted by their call sites only at level
+//! `full`. The buffer is bounded ([`EVENT_CAP`] records): when it fills,
+//! the oldest events are discarded and counted in [`dropped_events`], so
+//! an unbounded run can never exhaust memory.
+
+use std::borrow::Cow;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+use serde_json::{Map, Number, Value};
+
+/// Maximum number of buffered events; older records are dropped first.
+pub const EVENT_CAP: usize = 32_768;
+
+/// One typed pipeline event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A job (no-code contract run) started.
+    JobStart {
+        /// Job mode (`interactive` | `batch` | `evaluate`).
+        mode: Cow<'static, str>,
+    },
+    /// A job finished.
+    JobEnd {
+        /// Job mode (`interactive` | `batch` | `evaluate`).
+        mode: Cow<'static, str>,
+        /// False when the job returned a structured error.
+        ok: bool,
+        /// Wall-clock duration of the job, milliseconds.
+        dur_ms: f64,
+    },
+    /// One slice of a Mode B batch volume finished its per-slice pipeline.
+    SliceDone {
+        /// Slice index within the volume.
+        index: usize,
+        /// Slices completed so far (including this one).
+        done: usize,
+        /// Total slices in the volume.
+        total: usize,
+        /// Per-slice pipeline latency, milliseconds.
+        lat_ms: f64,
+        /// Pixels in the slice's combined mask.
+        mask_pixels: u64,
+        /// Completed slices per second since the batch started.
+        rate: f64,
+        /// Estimated seconds to completion (`None` before any rate exists).
+        eta_s: Option<f64>,
+    },
+    /// The temporal heuristic replaced (or synthesized) a slice's box.
+    TemporalReplace {
+        /// Slice index whose box was replaced.
+        slice: usize,
+        /// True when a raw detection existed and was judged an outlier;
+        /// false when the detection was missing and the window filled it.
+        had_detection: bool,
+    },
+    /// Rectification picked a candidate for a user click.
+    RectifyPick {
+        /// Click x coordinate.
+        x: usize,
+        /// Click y coordinate.
+        y: usize,
+        /// Number of candidate boxes generated.
+        candidates: usize,
+        /// Pixels of the picked candidate's mask (0 = nothing picked).
+        picked_pixels: u64,
+    },
+    /// A cache hit (emitted at level `full` only).
+    CacheHit {
+        /// Cache name (e.g. `sam.embed`).
+        cache: Cow<'static, str>,
+    },
+    /// A cache miss (emitted at level `full` only).
+    CacheMiss {
+        /// Cache name (e.g. `sam.embed`).
+        cache: Cow<'static, str>,
+    },
+    /// A warning worth surfacing in the event stream.
+    Warn {
+        /// Human-readable message.
+        message: String,
+    },
+    /// Informational narration (harness progress lines).
+    Info {
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl Event {
+    /// The stable dotted kind tag used in the JSONL output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::JobStart { .. } => "job.start",
+            Event::JobEnd { .. } => "job.end",
+            Event::SliceDone { .. } => "slice.done",
+            Event::TemporalReplace { .. } => "temporal.replace",
+            Event::RectifyPick { .. } => "rectify.pick",
+            Event::CacheHit { .. } => "cache.hit",
+            Event::CacheMiss { .. } => "cache.miss",
+            Event::Warn { .. } => "warn",
+            Event::Info { .. } => "info",
+        }
+    }
+}
+
+/// One recorded event with stream metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Monotonic sequence number (unique within the process, gap-free
+    /// among *recorded* events even after the buffer drops old ones).
+    pub seq: u64,
+    /// Microseconds since the process observability epoch.
+    pub ts_us: u64,
+    /// Thread the event was emitted from.
+    pub thread: String,
+    /// The event payload.
+    pub event: Event,
+}
+
+static NEXT_SEQ: AtomicU64 = AtomicU64::new(1);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+fn buffer() -> &'static Mutex<VecDeque<EventRecord>> {
+    static BUF: OnceLock<Mutex<VecDeque<EventRecord>>> = OnceLock::new();
+    BUF.get_or_init(|| Mutex::new(VecDeque::new()))
+}
+
+/// Record one event. A no-op (one relaxed atomic load) when recording is
+/// off, so call sites need no gating of their own — though sites that
+/// must also *build* the event cheaply should still check
+/// [`crate::enabled`] before computing payload fields.
+pub fn emit(event: Event) {
+    if !crate::enabled() {
+        return;
+    }
+    let rec = EventRecord {
+        seq: NEXT_SEQ.fetch_add(1, Ordering::Relaxed),
+        ts_us: crate::span::epoch_elapsed_us(),
+        thread: crate::span::current_thread_name(),
+        event,
+    };
+    let mut buf = buffer().lock();
+    if buf.len() >= EVENT_CAP {
+        buf.pop_front();
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    }
+    buf.push_back(rec);
+}
+
+/// Record an informational narration line.
+pub fn info(message: impl Into<String>) {
+    if crate::enabled() {
+        emit(Event::Info {
+            message: message.into(),
+        });
+    }
+}
+
+/// Record a warning.
+pub fn warn(message: impl Into<String>) {
+    if crate::enabled() {
+        emit(Event::Warn {
+            message: message.into(),
+        });
+    }
+}
+
+/// Copy of every buffered event in emission order.
+pub fn events_snapshot() -> Vec<EventRecord> {
+    buffer().lock().iter().cloned().collect()
+}
+
+/// Number of events discarded because the buffer was full.
+pub fn dropped_events() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Discard all buffered events and reset the dropped counter.
+pub fn reset_events() {
+    buffer().lock().clear();
+    DROPPED.store(0, Ordering::Relaxed);
+}
+
+fn field(m: &mut Map, key: &str, v: Value) {
+    m.insert(key, v);
+}
+
+/// One event as a flat JSON object (`seq`, `ts_us`, `thread`, `event`,
+/// then the payload fields).
+pub fn event_json(rec: &EventRecord) -> Value {
+    let mut m = Map::new();
+    field(&mut m, "seq", Value::Number(Number::U(rec.seq)));
+    field(&mut m, "ts_us", Value::Number(Number::U(rec.ts_us)));
+    field(&mut m, "thread", Value::String(rec.thread.clone()));
+    field(&mut m, "event", Value::String(rec.event.kind().to_string()));
+    match &rec.event {
+        Event::JobStart { mode } => {
+            field(&mut m, "mode", Value::String(mode.to_string()));
+        }
+        Event::JobEnd { mode, ok, dur_ms } => {
+            field(&mut m, "mode", Value::String(mode.to_string()));
+            field(&mut m, "ok", Value::Bool(*ok));
+            field(&mut m, "dur_ms", Value::Number(Number::F(*dur_ms)));
+        }
+        Event::SliceDone {
+            index,
+            done,
+            total,
+            lat_ms,
+            mask_pixels,
+            rate,
+            eta_s,
+        } => {
+            field(&mut m, "index", Value::Number(Number::U(*index as u64)));
+            field(&mut m, "done", Value::Number(Number::U(*done as u64)));
+            field(&mut m, "total", Value::Number(Number::U(*total as u64)));
+            field(&mut m, "lat_ms", Value::Number(Number::F(*lat_ms)));
+            field(&mut m, "mask_pixels", Value::Number(Number::U(*mask_pixels)));
+            field(&mut m, "rate", Value::Number(Number::F(*rate)));
+            field(
+                &mut m,
+                "eta_s",
+                match eta_s {
+                    Some(s) => Value::Number(Number::F(*s)),
+                    None => Value::Null,
+                },
+            );
+        }
+        Event::TemporalReplace {
+            slice,
+            had_detection,
+        } => {
+            field(&mut m, "slice", Value::Number(Number::U(*slice as u64)));
+            field(&mut m, "had_detection", Value::Bool(*had_detection));
+        }
+        Event::RectifyPick {
+            x,
+            y,
+            candidates,
+            picked_pixels,
+        } => {
+            field(&mut m, "x", Value::Number(Number::U(*x as u64)));
+            field(&mut m, "y", Value::Number(Number::U(*y as u64)));
+            field(
+                &mut m,
+                "candidates",
+                Value::Number(Number::U(*candidates as u64)),
+            );
+            field(
+                &mut m,
+                "picked_pixels",
+                Value::Number(Number::U(*picked_pixels)),
+            );
+        }
+        Event::CacheHit { cache } | Event::CacheMiss { cache } => {
+            field(&mut m, "cache", Value::String(cache.to_string()));
+        }
+        Event::Warn { message } | Event::Info { message } => {
+            field(&mut m, "message", Value::String(message.clone()));
+        }
+    }
+    Value::Object(m)
+}
+
+/// The whole buffer as JSONL: one compact JSON object per line, in
+/// emission order. Empty string when nothing was recorded.
+pub fn events_jsonl() -> String {
+    let mut out = String::new();
+    for rec in buffer().lock().iter() {
+        out.push_str(&event_json(rec).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObsLevel;
+
+    // Serialize level-flipping tests within this module.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn off_level_records_nothing() {
+        let _g = LOCK.lock();
+        let before = crate::level();
+        crate::set_level(ObsLevel::Off);
+        reset_events();
+        emit(Event::Info {
+            message: "invisible".into(),
+        });
+        info("also invisible");
+        assert!(events_snapshot().is_empty());
+        assert_eq!(events_jsonl(), "");
+        crate::set_level(before);
+    }
+
+    #[test]
+    fn jsonl_round_trips_payload_fields() {
+        let _g = LOCK.lock();
+        let before = crate::level();
+        crate::set_level(ObsLevel::Spans);
+        reset_events();
+        emit(Event::SliceDone {
+            index: 3,
+            done: 4,
+            total: 12,
+            lat_ms: 7.25,
+            mask_pixels: 980,
+            rate: 2.0,
+            eta_s: Some(4.0),
+        });
+        emit(Event::TemporalReplace {
+            slice: 5,
+            had_detection: false,
+        });
+        warn("box replaced");
+        let text = events_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let v: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(v["event"], "slice.done");
+        assert_eq!(v["index"], 3);
+        assert_eq!(v["total"], 12);
+        assert_eq!(v["mask_pixels"], 980);
+        assert_eq!(v["eta_s"], 4.0);
+        let v: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(v["event"], "temporal.replace");
+        assert_eq!(v["had_detection"], false);
+        let v: serde_json::Value = serde_json::from_str(lines[2]).unwrap();
+        assert_eq!(v["event"], "warn");
+        assert_eq!(v["message"], "box replaced");
+        // Sequence numbers strictly increase; timestamps never decrease.
+        let snap = events_snapshot();
+        assert!(snap.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(snap.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+        reset_events();
+        crate::set_level(before);
+    }
+
+    #[test]
+    fn buffer_is_bounded_and_counts_drops() {
+        let _g = LOCK.lock();
+        let before = crate::level();
+        crate::set_level(ObsLevel::Spans);
+        reset_events();
+        for i in 0..(EVENT_CAP + 100) {
+            emit(Event::Info {
+                message: format!("e{i}"),
+            });
+        }
+        let snap = events_snapshot();
+        assert_eq!(snap.len(), EVENT_CAP);
+        assert_eq!(dropped_events(), 100);
+        // The oldest records were the ones dropped.
+        assert_eq!(
+            snap.first().map(|r| r.event.clone()),
+            Some(Event::Info {
+                message: "e100".into()
+            })
+        );
+        reset_events();
+        assert_eq!(dropped_events(), 0);
+        crate::set_level(before);
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(Event::JobStart { mode: "batch".into() }.kind(), "job.start");
+        assert_eq!(
+            Event::CacheMiss { cache: "sam.embed".into() }.kind(),
+            "cache.miss"
+        );
+    }
+}

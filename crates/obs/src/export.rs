@@ -18,24 +18,33 @@
 //! }
 //! ```
 
+use std::collections::HashMap;
+
 use serde_json::{Map, Number, Value};
 
 use crate::metrics::metrics_snapshot;
 use crate::span::{snapshot, SpanId, SpanRecord};
 
-fn children_of(spans: &[SpanRecord]) -> Vec<Vec<usize>> {
-    // Index spans by id for parent lookup; spans are already start-sorted.
+/// One id → index map, built once and shared by both [`children_of`] and
+/// [`roots`] so parent resolution is O(n) over the whole snapshot (the
+/// previous per-span linear scans were O(n²) and dominated export time on
+/// multi-thousand-span traces).
+fn index_by_id(spans: &[SpanRecord]) -> HashMap<SpanId, usize> {
+    spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect()
+}
+
+fn children_of(spans: &[SpanRecord], by_id: &HashMap<SpanId, usize>) -> Vec<Vec<usize>> {
+    // Spans are already start-sorted, so children stay start-ordered.
     let mut kids: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
-    let idx_of = |id: SpanId| spans.iter().position(|s| s.id == id);
     for (i, s) in spans.iter().enumerate() {
-        if let Some(p) = s.parent.and_then(idx_of) {
+        if let Some(&p) = s.parent.as_ref().and_then(|p| by_id.get(p)) {
             kids[p].push(i);
         }
     }
     kids
 }
 
-fn roots(spans: &[SpanRecord]) -> Vec<usize> {
+fn roots(spans: &[SpanRecord], by_id: &HashMap<SpanId, usize>) -> Vec<usize> {
     spans
         .iter()
         .enumerate()
@@ -45,7 +54,7 @@ fn roots(spans: &[SpanRecord]) -> Vec<usize> {
                 // A parent that never completed (still-open guard, or
                 // cleared registry) promotes the child to a root so it
                 // still shows up in the tree.
-                Some(p) => !spans.iter().any(|o| o.id == p),
+                Some(p) => !by_id.contains_key(&p),
             }
         })
         .map(|(i, _)| i)
@@ -79,9 +88,10 @@ pub fn render_tree() -> String {
     if spans.is_empty() {
         return String::from("(no spans recorded — set ZENESIS_OBS=spans)\n");
     }
-    let kids = children_of(&spans);
+    let by_id = index_by_id(&spans);
+    let kids = children_of(&spans, &by_id);
     let mut out = String::new();
-    for r in roots(&spans) {
+    for r in roots(&spans, &by_id) {
         render_node(&spans, &kids, r, 0, &mut out);
     }
     out
@@ -145,6 +155,73 @@ pub fn trace_json() -> Value {
 /// The full trace serialized to a JSON string.
 pub fn trace_json_string(pretty: bool) -> String {
     let v = trace_json();
+    if pretty {
+        serde_json::to_string_pretty(&v).expect("trace serializes")
+    } else {
+        serde_json::to_string(&v).expect("trace serializes")
+    }
+}
+
+/// The recorded spans in Chrome `trace_event` format — a JSON array that
+/// loads directly in Perfetto or `chrome://tracing`.
+///
+/// Each thread gets its own integer `tid` lane (assigned in order of
+/// first appearance, with a `thread_name` metadata record carrying the
+/// real name), every span becomes a complete (`"ph": "X"`) event with
+/// microsecond `ts`/`dur`, and events are ordered by `ts` (metadata
+/// records lead with `ts` 0). Span ids and parents ride along in `args`.
+pub fn chrome_trace_json() -> Value {
+    let spans = snapshot();
+    let mut tids: HashMap<String, u64> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for s in &spans {
+        let next = tids.len() as u64;
+        tids.entry(s.thread.clone()).or_insert_with(|| {
+            order.push(s.thread.clone());
+            next
+        });
+    }
+    let mut events: Vec<Value> = Vec::with_capacity(spans.len() + order.len());
+    for name in &order {
+        let mut m = Map::new();
+        m.insert("name", Value::String("thread_name".into()));
+        m.insert("ph", Value::String("M".into()));
+        m.insert("ts", Value::Number(Number::U(0)));
+        m.insert("pid", Value::Number(Number::U(1)));
+        m.insert("tid", Value::Number(Number::U(tids[name])));
+        let mut args = Map::new();
+        args.insert("name", Value::String(name.clone()));
+        m.insert("args", Value::Object(args));
+        events.push(Value::Object(m));
+    }
+    // `snapshot()` is start-sorted, so complete events come out ts-sorted.
+    for s in &spans {
+        let mut m = Map::new();
+        m.insert("name", Value::String(s.name.to_string()));
+        m.insert("cat", Value::String("zenesis".into()));
+        m.insert("ph", Value::String("X".into()));
+        m.insert("ts", Value::Number(Number::U(s.start_ns / 1_000)));
+        m.insert("dur", Value::Number(Number::U(s.dur_ns / 1_000)));
+        m.insert("pid", Value::Number(Number::U(1)));
+        m.insert("tid", Value::Number(Number::U(tids[&s.thread])));
+        let mut args = Map::new();
+        args.insert("id", Value::Number(Number::U(s.id.0)));
+        args.insert(
+            "parent",
+            match s.parent {
+                Some(p) => Value::Number(Number::U(p.0)),
+                None => Value::Null,
+            },
+        );
+        m.insert("args", Value::Object(args));
+        events.push(Value::Object(m));
+    }
+    Value::Array(events)
+}
+
+/// The Chrome trace serialized to a JSON string.
+pub fn chrome_trace_string(pretty: bool) -> String {
+    let v = chrome_trace_json();
     if pretty {
         serde_json::to_string_pretty(&v).expect("trace serializes")
     } else {

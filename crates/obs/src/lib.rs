@@ -20,6 +20,10 @@
 //!   process-global instruments. Histograms are log-scale (8 sub-buckets
 //!   per power of two, ≤ ~6% representative error) and report
 //!   p50/p90/p99 without storing individual samples.
+//! * **Events** ([`events`]) are a bounded stream of typed records
+//!   (`job.start/end`, `slice.done`, `temporal.replace`, `rectify.pick`,
+//!   `cache.{hit,miss}`, `warn`, `info`) exported as JSONL — the live
+//!   telemetry of long batch runs.
 //! * **Zero cost when off.** The recording level comes from the
 //!   `ZENESIS_OBS` environment variable (`off` | `spans` | `full`,
 //!   default `off`) and is gated behind one relaxed atomic load. With
@@ -47,6 +51,7 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod events;
 pub mod export;
 mod metrics;
 mod span;
@@ -61,9 +66,10 @@ pub use span::{
     SpanRecord,
 };
 
-/// Clear all recorded spans and all registered metrics (test isolation,
-/// or between independent benchmark runs).
+/// Clear all recorded spans, all registered metrics, and all buffered
+/// events (test isolation, or between independent benchmark runs).
 pub fn reset() {
     reset_spans();
     reset_metrics();
+    events::reset_events();
 }

@@ -46,6 +46,17 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+/// Microseconds elapsed since the process observability epoch (shared by
+/// spans and the event stream, so their timestamps line up).
+pub(crate) fn epoch_elapsed_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// The cached name of the current thread (shared with the event stream).
+pub(crate) fn current_thread_name() -> String {
+    thread_name()
+}
+
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
 const SHARDS: usize = 16;

@@ -187,6 +187,12 @@ impl Sam {
                 cache.push(entry); // most-recently-used goes last
                 if zenesis_obs::enabled() {
                     zenesis_obs::counter("sam.embed_cache.hit").inc();
+                    // Per-lookup events are high-volume: `full` only.
+                    if zenesis_obs::full() {
+                        zenesis_obs::events::emit(zenesis_obs::events::Event::CacheHit {
+                            cache: "sam.embed".into(),
+                        });
+                    }
                 }
                 return emb;
             }
@@ -196,6 +202,11 @@ impl Sam {
         // is benign because encoding is deterministic).
         if zenesis_obs::enabled() {
             zenesis_obs::counter("sam.embed_cache.miss").inc();
+            if zenesis_obs::full() {
+                zenesis_obs::events::emit(zenesis_obs::events::Event::CacheMiss {
+                    cache: "sam.embed".into(),
+                });
+            }
         }
         let emb = Arc::new(self.encode(img));
         let mut cache = self.cache.lock();

@@ -21,13 +21,25 @@
 //!
 //! # write a span/metric trace alongside the job result
 //! cargo run --release --bin zenesis-cli -- job.json --trace-out trace.json
+//!
+//! # Perfetto-loadable trace, structured event log, and a run ledger
+//! cargo run --release --bin zenesis-cli -- job.json \
+//!     --trace-out trace.json --trace-format chrome \
+//!     --events-out events.jsonl --ledger-out BENCH_cli.json --label cli
 //! ```
 //!
-//! `--trace-out <path>` records the observability trace (spans + metrics,
-//! see `docs/OBSERVABILITY.md`) as JSON; it implies `ZENESIS_OBS=spans`
-//! unless the environment sets a level explicitly.
+//! Observability outputs (see `docs/OBSERVABILITY.md`); each implies
+//! `ZENESIS_OBS=spans` unless the environment sets a level explicitly:
+//! - `--trace-out <path>` records the span/metric trace as JSON;
+//!   `--trace-format chrome` switches to Chrome `trace_event` format
+//!   (loadable in Perfetto / `chrome://tracing`).
+//! - `--events-out <path>` writes the typed event stream (`job.start`,
+//!   `slice.done`, `temporal.replace`, ...) as JSONL.
+//! - `--ledger-out <path>` writes a schema-v1 run ledger comparable with
+//!   `zenesis-obs-diff`; `--label <name>` names the run inside it.
 
 use std::io::Read;
+use std::time::Instant;
 
 use zenesis::core::job::{run_job, run_job_json, InputSpec, JobSpec, PhantomKind};
 
@@ -83,30 +95,93 @@ fn examples() -> Vec<(&'static str, JobSpec)> {
     ]
 }
 
-/// Write the observability trace, reporting failures without aborting —
-/// the job result already went to stdout.
-fn write_trace(path: &str) {
-    let json = zenesis::obs::export::trace_json_string(true);
-    match std::fs::write(path, json) {
-        Ok(()) => eprintln!("trace written to {path}"),
-        Err(e) => eprintln!("failed to write trace {path}: {e}"),
+/// The observability sinks requested on the command line; all written
+/// after the job result has already gone to stdout, so failures report
+/// without aborting.
+struct ObsSinks {
+    trace_out: Option<String>,
+    trace_format: String,
+    events_out: Option<String>,
+    ledger_out: Option<String>,
+    label: String,
+    started: Instant,
+}
+
+impl ObsSinks {
+    /// Write every requested sink. `job_text` fingerprints the ledger:
+    /// the job spec JSON *is* the configuration of a CLI run.
+    fn write(&self, job_text: &str) {
+        if let Some(path) = &self.trace_out {
+            let json = if self.trace_format == "chrome" {
+                zenesis::obs::export::chrome_trace_string(false)
+            } else {
+                zenesis::obs::export::trace_json_string(true)
+            };
+            match std::fs::write(path, json) {
+                Ok(()) => eprintln!("{} trace written to {path}", self.trace_format),
+                Err(e) => eprintln!("failed to write trace {path}: {e}"),
+            }
+        }
+        if let Some(path) = &self.events_out {
+            let dropped = zenesis::obs::events::dropped_events();
+            if dropped > 0 {
+                eprintln!("event buffer overflowed; {dropped} oldest events dropped");
+            }
+            match std::fs::write(path, zenesis::obs::events::events_jsonl()) {
+                Ok(()) => eprintln!("event stream written to {path}"),
+                Err(e) => eprintln!("failed to write events {path}: {e}"),
+            }
+        }
+        if let Some(path) = &self.ledger_out {
+            let ledger = zenesis::ledger::Ledger::capture(
+                &self.label,
+                &zenesis::ledger::fingerprint(job_text),
+                0,
+                0,
+                self.started.elapsed().as_secs_f64(),
+                Vec::new(),
+            );
+            match std::fs::write(path, ledger.to_json()) {
+                Ok(()) => eprintln!("run ledger written to {path}"),
+                Err(e) => eprintln!("failed to write ledger {path}: {e}"),
+            }
+        }
+    }
+}
+
+/// Pull the value following a `--flag` out of `args` (both removed) so it
+/// never masquerades as the job file.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    args.remove(i);
+    if i < args.len() {
+        Some(args.remove(i))
+    } else {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
     }
 }
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    // --trace-out <path>: strip before positional-argument handling so it
-    // never masquerades as the job file.
-    let trace_out: Option<String> = args.iter().position(|a| a == "--trace-out").map(|i| {
-        args.remove(i); // the flag
-        if i < args.len() {
-            args.remove(i) // the path
-        } else {
-            eprintln!("--trace-out requires a path");
-            std::process::exit(2);
-        }
-    });
-    if trace_out.is_some() && std::env::var_os("ZENESIS_OBS").is_none() {
+    let sinks = ObsSinks {
+        trace_out: take_flag_value(&mut args, "--trace-out"),
+        trace_format: take_flag_value(&mut args, "--trace-format").unwrap_or_else(|| "json".into()),
+        events_out: take_flag_value(&mut args, "--events-out"),
+        ledger_out: take_flag_value(&mut args, "--ledger-out"),
+        label: take_flag_value(&mut args, "--label").unwrap_or_else(|| "cli".into()),
+        started: Instant::now(),
+    };
+    if !matches!(sinks.trace_format.as_str(), "json" | "chrome") {
+        eprintln!(
+            "unknown --trace-format {:?} (expected json|chrome)",
+            sinks.trace_format
+        );
+        std::process::exit(2);
+    }
+    let wants_obs =
+        sinks.trace_out.is_some() || sinks.events_out.is_some() || sinks.ledger_out.is_some();
+    if wants_obs && std::env::var_os("ZENESIS_OBS").is_none() {
         zenesis::obs::set_level(zenesis::obs::ObsLevel::Spans);
     }
     // --examples: print sample job specs and exit.
@@ -139,9 +214,7 @@ fn main() {
             "{}",
             serde_json::to_string_pretty(&run_job(&spec)).expect("results serialize")
         );
-        if let Some(path) = &trace_out {
-            write_trace(path);
-        }
+        sinks.write(&serde_json::to_string(&spec).expect("specs serialize"));
         return;
     }
     // Default: a JSON job from file argument or stdin.
@@ -164,7 +237,5 @@ fn main() {
         }
     };
     println!("{}", run_job_json(&json));
-    if let Some(path) = &trace_out {
-        write_trace(path);
-    }
+    sinks.write(&json);
 }

@@ -45,6 +45,7 @@ pub use zenesis_core as core;
 pub use zenesis_data as data;
 pub use zenesis_ground as ground;
 pub use zenesis_image as image;
+pub use zenesis_ledger as ledger;
 pub use zenesis_metrics as metrics;
 pub use zenesis_nn as nn;
 pub use zenesis_obs as obs;

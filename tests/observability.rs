@@ -1,15 +1,17 @@
 //! End-to-end observability contract: `segment_slice` emits the
-//! documented span tree, and turning recording off changes nothing about
-//! the segmentation outputs.
+//! documented span tree, batch runs emit the documented event stream,
+//! and turning recording off changes nothing about the segmentation
+//! outputs.
 //!
-//! Both tests flip the process-global recording level, so they are
+//! Every test flips the process-global recording level, so they are
 //! serialized through a mutex.
 
 use std::collections::HashMap;
 use std::sync::Mutex;
 
+use zenesis::core::job::{run_job, InputSpec, JobResult, JobSpec, PhantomKind};
 use zenesis::core::{SliceResult, Zenesis, ZenesisConfig};
-use zenesis::data::{generate_slice, PhantomConfig, SampleKind};
+use zenesis::data::{generate_slice, generate_volume, PhantomConfig, SampleKind};
 use zenesis::obs::{ObsLevel, SpanId, SpanRecord};
 
 static LEVEL_LOCK: Mutex<()> = Mutex::new(());
@@ -124,4 +126,130 @@ fn off_level_is_invisible_to_pipeline_outputs() {
     assert_eq!(with_obs.masks, without_obs.masks);
     assert_eq!(with_obs.relevance, without_obs.relevance);
     assert_eq!(*with_obs.adapted, *without_obs.adapted);
+}
+
+/// A Mode B batch job emits the documented event stream: `job.start` /
+/// `job.end` bracketing, one `slice.done` per slice with saturating
+/// progress and ETA, and a `temporal.replace` for the seeded outlier.
+#[test]
+fn batch_job_emits_documented_event_stream() {
+    let _guard = LEVEL_LOCK.lock().unwrap();
+    zenesis::obs::set_level(ObsLevel::Spans);
+    zenesis::obs::reset();
+
+    const DEPTH: usize = 6;
+    let spec = JobSpec::Batch {
+        input: InputSpec::PhantomVolume {
+            kind: PhantomKind::Crystalline,
+            seed: 5,
+            depth: DEPTH,
+            side: 64,
+            outlier_slices: vec![3],
+        },
+        prompt: "needle-like crystalline catalyst".into(),
+        config: None,
+    };
+    let result = run_job(&spec);
+    assert!(matches!(result, JobResult::Volume { .. }));
+
+    let events = zenesis::obs::events::events_snapshot();
+    let kinds: Vec<&str> = events.iter().map(|r| r.event.kind()).collect();
+    assert_eq!(kinds.first(), Some(&"job.start"), "stream starts the job");
+    assert_eq!(kinds.last(), Some(&"job.end"), "stream ends the job");
+    assert_eq!(kinds.iter().filter(|k| **k == "slice.done").count(), DEPTH);
+    assert!(
+        kinds.contains(&"temporal.replace"),
+        "seeded outlier slice must be reported: {kinds:?}"
+    );
+
+    // slice.done payloads: every index once, monotone-usable progress,
+    // non-negative rate/ETA.
+    let mut indices = Vec::new();
+    for r in &events {
+        if let zenesis::obs::events::Event::SliceDone {
+            index,
+            done,
+            total,
+            lat_ms,
+            rate,
+            eta_s,
+            ..
+        } = &r.event
+        {
+            indices.push(*index);
+            assert_eq!(*total, DEPTH);
+            assert!(*done >= 1 && *done <= DEPTH);
+            assert!(*lat_ms >= 0.0);
+            assert!(*rate >= 0.0);
+            if let Some(eta) = eta_s {
+                assert!(*eta >= 0.0, "eta must not go negative");
+            }
+        }
+    }
+    indices.sort_unstable();
+    assert_eq!(indices, (0..DEPTH).collect::<Vec<_>>());
+
+    // job.end carries success and a real duration.
+    let Some(zenesis::obs::events::Event::JobEnd { mode, ok, dur_ms }) =
+        events.last().map(|r| r.event.clone())
+    else {
+        panic!("last event must be job.end");
+    };
+    assert_eq!(mode, "batch");
+    assert!(ok);
+    assert!(dur_ms > 0.0);
+
+    // The JSONL serialization parses line-by-line and keeps the order.
+    let jsonl = zenesis::obs::events::events_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), events.len());
+    for line in &lines {
+        let v: serde_json::Value = serde_json::from_str(line).expect("JSONL line parses");
+        assert!(v["seq"].as_u64().is_some());
+        assert!(v["event"].as_str().is_some());
+    }
+
+    zenesis::obs::reset();
+    zenesis::obs::set_level(ObsLevel::Off);
+}
+
+/// `ZENESIS_OBS=off` yields byte-identical batch segmentation output and
+/// records no events, spans, or metrics — the zero-overhead contract the
+/// run ledger and event stream are built on.
+#[test]
+fn off_level_batch_is_byte_identical_and_eventless() {
+    let _guard = LEVEL_LOCK.lock().unwrap();
+
+    let run = || {
+        let v = generate_volume(SampleKind::Amorphous, 64, 4, 9, &[2]);
+        let z = Zenesis::new(ZenesisConfig::default());
+        z.segment_volume(&v.volume, "catalyst particles")
+    };
+
+    zenesis::obs::set_level(ObsLevel::Full);
+    zenesis::obs::reset();
+    let with_obs = run();
+    assert!(
+        !zenesis::obs::events::events_snapshot().is_empty(),
+        "full level records slice.done events"
+    );
+
+    zenesis::obs::set_level(ObsLevel::Off);
+    zenesis::obs::reset();
+    let without_obs = run();
+    assert!(zenesis::obs::events::events_snapshot().is_empty());
+    assert!(zenesis::obs::snapshot().is_empty());
+    assert_eq!(zenesis::obs::events::dropped_events(), 0);
+
+    assert_eq!(with_obs.masks, without_obs.masks, "byte-identical masks");
+    assert_eq!(
+        with_obs.events.len(),
+        without_obs.events.len(),
+        "same temporal decisions"
+    );
+    for (a, b) in with_obs.events.iter().zip(&without_obs.events) {
+        assert_eq!(a.corrected, b.corrected);
+        assert_eq!(a.used_box, b.used_box);
+    }
+    zenesis::obs::set_level(ObsLevel::Spans);
 }
