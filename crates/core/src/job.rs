@@ -10,11 +10,20 @@ use serde::{Deserialize, Serialize};
 use zenesis_data::{benchmark_dataset, generate_volume, PhantomConfig, SampleKind};
 use zenesis_image::BoxRegion;
 use zenesis_metrics::dashboard;
+use zenesis_par::CancelToken;
 
 use crate::config::ZenesisConfig;
 use crate::method::Method;
 use crate::modes;
 use crate::pipeline::Zenesis;
+
+/// Largest accepted slice side for generated inputs. Oversized specs are
+/// rejected up front with a structured error instead of attempting a
+/// multi-gigabyte allocation deep in the pipeline.
+pub const MAX_SIDE: usize = 4096;
+
+/// Largest accepted generated-volume depth.
+pub const MAX_DEPTH: usize = 2048;
 
 /// Input data specification.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -55,7 +64,55 @@ pub enum InputSpec {
     PpmFile { path: String },
 }
 
+fn check_side(side: usize) -> Result<(), String> {
+    if side == 0 {
+        return Err("side must be nonzero".into());
+    }
+    if side > MAX_SIDE {
+        return Err(format!("side {side} exceeds the maximum of {MAX_SIDE}"));
+    }
+    Ok(())
+}
+
 impl InputSpec {
+    /// Structural validation of generated inputs: zero or absurd
+    /// dimensions are rejected here with a readable message instead of
+    /// panicking in `Matrix::zeros` (or exhausting memory) downstream.
+    /// File-backed inputs validate at load time, where the real I/O
+    /// error is available.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            InputSpec::PhantomSlice { side, .. } => check_side(*side),
+            InputSpec::PhantomVolume {
+                depth,
+                side,
+                outlier_slices,
+                ..
+            } => {
+                check_side(*side)?;
+                if *depth == 0 {
+                    return Err("volume depth must be nonzero".into());
+                }
+                if *depth > MAX_DEPTH {
+                    return Err(format!(
+                        "volume depth {depth} exceeds the maximum of {MAX_DEPTH}"
+                    ));
+                }
+                if let Some(bad) = outlier_slices.iter().find(|&&z| z >= *depth) {
+                    return Err(format!(
+                        "outlier slice index {bad} out of range for depth {depth}"
+                    ));
+                }
+                Ok(())
+            }
+            InputSpec::Benchmark { side, .. } => check_side(*side),
+            InputSpec::TiffFile { .. }
+            | InputSpec::PgmFile { .. }
+            | InputSpec::TiffVolumeFile { .. }
+            | InputSpec::PpmFile { .. } => Ok(()),
+        }
+    }
+
     /// Load a file-backed input as a normalized image; phantom inputs
     /// return `None` (they are generated in the mode handlers).
     fn load_file(&self) -> Option<Result<zenesis_image::Image<f32>, String>> {
@@ -143,6 +200,27 @@ pub enum JobSpec {
     },
 }
 
+impl JobSpec {
+    /// Validate the spec without running it. [`run_job`] calls this
+    /// first, so malformed specs (zero/oversized dimensions, empty
+    /// prompts) become structured [`JobResult::Error`]s instead of
+    /// panics deep in the pipeline; serving layers can also call it to
+    /// reject bad requests before they occupy a worker.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            JobSpec::Interactive { input, prompt, .. }
+            | JobSpec::Batch { input, prompt, .. } => {
+                input.validate()?;
+                if prompt.trim().is_empty() {
+                    return Err("prompt must be non-empty".into());
+                }
+                Ok(())
+            }
+            JobSpec::Evaluate { input, .. } => input.validate(),
+        }
+    }
+}
+
 /// A job's structured result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(tag = "kind", rename_all = "snake_case")]
@@ -167,10 +245,45 @@ pub enum JobResult {
     Error {
         message: String,
     },
+    /// The serving queue was full; the job was shed without running
+    /// (resubmit later — the spec itself may be perfectly valid).
+    Busy {
+        message: String,
+        /// Queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The job hit its deadline (or was cancelled) and stopped at a
+    /// cooperative checkpoint with partial progress.
+    Timeout {
+        message: String,
+        /// Work units finished before cancellation (slices for batch
+        /// jobs, samples for evaluation jobs).
+        completed: usize,
+        /// Work units the full job would have run.
+        total: usize,
+    },
+}
+
+impl JobResult {
+    /// True for results that represent successfully completed work.
+    pub fn is_ok(&self) -> bool {
+        matches!(
+            self,
+            JobResult::Slice { .. } | JobResult::Volume { .. } | JobResult::Evaluation { .. }
+        )
+    }
 }
 
 /// Execute a job.
 pub fn run_job(spec: &JobSpec) -> JobResult {
+    run_job_with_cancel(spec, &CancelToken::new())
+}
+
+/// Execute a job under a cancellation token. Deadline-carrying tokens
+/// turn long batch/evaluate jobs into [`JobResult::Timeout`] results at
+/// the next per-slice / per-sample checkpoint; the job never hangs past
+/// a cooperative poll interval.
+pub fn run_job_with_cancel(spec: &JobSpec, cancel: &CancelToken) -> JobResult {
     let _root = zenesis_obs::span("job.run");
     let mode = match spec {
         JobSpec::Interactive { .. } => "interactive",
@@ -181,18 +294,39 @@ pub fn run_job(spec: &JobSpec) -> JobResult {
     // payload, not part of the result, so `off` must cost nothing.
     let started = zenesis_obs::enabled().then(std::time::Instant::now);
     zenesis_obs::events::emit(zenesis_obs::events::Event::JobStart { mode: mode.into() });
-    let result = run_job_inner(spec);
+    let result = run_job_inner(spec, cancel);
     if let Some(t0) = started {
         zenesis_obs::events::emit(zenesis_obs::events::Event::JobEnd {
             mode: mode.into(),
-            ok: !matches!(result, JobResult::Error { .. }),
+            ok: result.is_ok(),
             dur_ms: t0.elapsed().as_secs_f64() * 1e3,
         });
     }
     result
 }
 
-fn run_job_inner(spec: &JobSpec) -> JobResult {
+/// Human-readable reason for a cancelled job.
+fn cancel_message(cancel: &CancelToken) -> String {
+    if cancel.deadline_exceeded() {
+        "job deadline exceeded".into()
+    } else {
+        "job cancelled".into()
+    }
+}
+
+fn run_job_inner(spec: &JobSpec, cancel: &CancelToken) -> JobResult {
+    if let Err(message) = spec.validate() {
+        return JobResult::Error {
+            message: format!("invalid job spec: {message}"),
+        };
+    }
+    if cancel.is_cancelled() {
+        return JobResult::Timeout {
+            message: cancel_message(cancel),
+            completed: 0,
+            total: 0,
+        };
+    }
     match spec {
         JobSpec::Interactive {
             input,
@@ -249,11 +383,17 @@ fn run_job_inner(spec: &JobSpec) -> JobResult {
                     outlier_slices,
                 } => {
                     let v = generate_volume((*kind).into(), *side, *depth, *seed, outlier_slices);
-                    let r = z.segment_volume(&v.volume, prompt);
-                    JobResult::Volume {
-                        depth: *depth,
-                        corrections: r.corrections(),
-                        per_slice_pixels: r.masks.iter().map(|m| m.count()).collect(),
+                    match z.segment_volume_cancellable(&v.volume, prompt, cancel) {
+                        Ok(r) => JobResult::Volume {
+                            depth: *depth,
+                            corrections: r.corrections(),
+                            per_slice_pixels: r.masks.iter().map(|m| m.count()).collect(),
+                        },
+                        Err(partial) => JobResult::Timeout {
+                            message: cancel_message(cancel),
+                            completed: partial.completed,
+                            total: partial.total,
+                        },
                     }
                 }
                 InputSpec::TiffVolumeFile { path } => {
@@ -269,14 +409,18 @@ fn run_job_inner(spec: &JobSpec) -> JobResult {
                         &data,
                         zenesis_image::VoxelSize::default(),
                     ) {
-                        Ok(vol) => {
-                            let r = z.segment_volume(&vol, prompt);
-                            JobResult::Volume {
+                        Ok(vol) => match z.segment_volume_cancellable(&vol, prompt, cancel) {
+                            Ok(r) => JobResult::Volume {
                                 depth: vol.depth(),
                                 corrections: r.corrections(),
                                 per_slice_pixels: r.masks.iter().map(|m| m.count()).collect(),
-                            }
-                        }
+                            },
+                            Err(partial) => JobResult::Timeout {
+                                message: cancel_message(cancel),
+                                completed: partial.completed,
+                                total: partial.total,
+                            },
+                        },
                         Err(e) => JobResult::Error {
                             message: format!("cannot read tiff volume {path:?}: {e}"),
                         },
@@ -301,10 +445,16 @@ fn run_job_inner(spec: &JobSpec) -> JobResult {
                     } else {
                         methods.clone()
                     };
-                    let eval = modes::evaluate(&z, &ds, &ms);
-                    JobResult::Evaluation {
-                        dashboard: dashboard::render_summary_table(&eval.summarize()),
-                        csv: dashboard::to_csv(&eval),
+                    match modes::evaluate_cancellable(&z, &ds, &ms, cancel) {
+                        Ok(eval) => JobResult::Evaluation {
+                            dashboard: dashboard::render_summary_table(&eval.summarize()),
+                            csv: dashboard::to_csv(&eval),
+                        },
+                        Err(partial) => JobResult::Timeout {
+                            message: cancel_message(cancel),
+                            completed: partial.completed,
+                            total: partial.total,
+                        },
                     }
                 }
                 _ => JobResult::Error {
@@ -317,8 +467,14 @@ fn run_job_inner(spec: &JobSpec) -> JobResult {
 
 /// Execute a job given as a JSON string — the exact no-code entry point.
 pub fn run_job_json(json: &str) -> String {
+    run_job_json_with_cancel(json, &CancelToken::new())
+}
+
+/// [`run_job_json`] under a cancellation token (deadline-aware entry
+/// point for CLIs and serving layers).
+pub fn run_job_json_with_cancel(json: &str, cancel: &CancelToken) -> String {
     let result = match serde_json::from_str::<JobSpec>(json) {
-        Ok(spec) => run_job(&spec),
+        Ok(spec) => run_job_with_cancel(&spec, cancel),
         Err(e) => JobResult::Error {
             message: format!("invalid job spec: {e}"),
         },
@@ -455,6 +611,122 @@ mod tests {
         };
         match run_job(&spec) {
             JobResult::Error { message } => assert!(message.contains("cannot read tiff")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_depth_volume_is_structured_error() {
+        // Regression: depth 0 used to panic in `Matrix::zeros` deep in
+        // the pipeline instead of returning a JobResult::Error.
+        let spec = JobSpec::Batch {
+            input: InputSpec::PhantomVolume {
+                kind: PhantomKind::Amorphous,
+                seed: 1,
+                depth: 0,
+                side: 64,
+                outlier_slices: vec![],
+            },
+            prompt: "catalyst particles".into(),
+            config: None,
+        };
+        match run_job(&spec) {
+            JobResult::Error { message } => assert!(message.contains("depth"), "{message}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_side_slice_is_structured_error() {
+        let spec = JobSpec::Interactive {
+            input: InputSpec::PhantomSlice {
+                kind: PhantomKind::Amorphous,
+                seed: 1,
+                side: 0,
+            },
+            prompt: "particles".into(),
+            config: None,
+        };
+        match run_job(&spec) {
+            JobResult::Error { message } => assert!(message.contains("side"), "{message}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_and_empty_prompt_rejected() {
+        let oversized = JobSpec::Interactive {
+            input: InputSpec::PhantomSlice {
+                kind: PhantomKind::Amorphous,
+                seed: 1,
+                side: MAX_SIDE + 1,
+            },
+            prompt: "particles".into(),
+            config: None,
+        };
+        assert!(oversized.validate().is_err());
+        let empty_prompt = JobSpec::Interactive {
+            input: InputSpec::PhantomSlice {
+                kind: PhantomKind::Amorphous,
+                seed: 1,
+                side: 64,
+            },
+            prompt: "   ".into(),
+            config: None,
+        };
+        match run_job(&empty_prompt) {
+            JobResult::Error { message } => assert!(message.contains("prompt"), "{message}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let bad_outlier = InputSpec::PhantomVolume {
+            kind: PhantomKind::Amorphous,
+            seed: 1,
+            depth: 4,
+            side: 64,
+            outlier_slices: vec![7],
+        };
+        assert!(bad_outlier.validate().is_err());
+    }
+
+    #[test]
+    fn expired_deadline_returns_timeout_result() {
+        let spec = JobSpec::Batch {
+            input: InputSpec::PhantomVolume {
+                kind: PhantomKind::Amorphous,
+                seed: 3,
+                depth: 4,
+                side: 64,
+                outlier_slices: vec![],
+            },
+            prompt: "catalyst particles".into(),
+            config: None,
+        };
+        let cancel = CancelToken::with_deadline(std::time::Duration::ZERO);
+        match run_job_with_cancel(&spec, &cancel) {
+            JobResult::Timeout { message, .. } => {
+                assert!(message.contains("deadline"), "{message}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_run_cancel_returns_partial_progress() {
+        // Cancel after the token has been polled at least once: run a
+        // volume whose first slices complete, then the token trips.
+        let spec = JobSpec::Evaluate {
+            input: InputSpec::Benchmark { seed: 5, side: 64 },
+            methods: vec![Method::Otsu],
+            config: None,
+        };
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        match run_job_with_cancel(&spec, &cancel) {
+            JobResult::Timeout {
+                completed, total, ..
+            } => {
+                assert!(completed <= total);
+            }
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -40,4 +40,4 @@ pub use config::ZenesisConfig;
 pub use method::Method;
 pub use multi::{MultiResult, ObjectSpec};
 pub use pipeline::{SliceResult, Zenesis};
-pub use temporal::{TemporalConfig, VolumeResult};
+pub use temporal::{TemporalConfig, VolumeCancelled, VolumeResult};

@@ -11,9 +11,23 @@ use zenesis_image::BitMask;
 use zenesis_metrics::{Confusion, DatasetEval, SampleEval};
 
 use zenesis_data::{Dataset, Sample};
+use zenesis_par::CancelToken;
 
 use crate::method::Method;
 use crate::pipeline::Zenesis;
+
+/// An evaluation run was cancelled (deadline or explicit stop) before
+/// every sample finished. Completed samples are preserved so the caller
+/// can report partial progress.
+#[derive(Debug)]
+pub struct EvalCancelled {
+    /// Samples fully evaluated before cancellation.
+    pub completed: usize,
+    /// Samples in the dataset.
+    pub total: usize,
+    /// The evaluation records of the completed samples.
+    pub partial: DatasetEval,
+}
 
 /// Evaluate a set of methods over the benchmark dataset (Mode C).
 ///
@@ -21,15 +35,42 @@ use crate::pipeline::Zenesis;
 /// adapted image, and the prediction is scored against the exact phantom
 /// ground truth. Samples are processed in parallel.
 pub fn evaluate(z: &Zenesis, dataset: &Dataset, methods: &[Method]) -> DatasetEval {
-    let records: Vec<Vec<SampleEval>> =
-        zenesis_par::par_map(&dataset.samples, |sample| evaluate_sample(z, sample, methods));
+    evaluate_cancellable(z, dataset, methods, &CancelToken::new())
+        .expect("a fresh token never cancels")
+}
+
+/// [`evaluate`] with cooperative cancellation: the per-sample loop polls
+/// `cancel` before each sample, so a deadline or explicit stop returns
+/// [`EvalCancelled`] with whatever finished instead of running the whole
+/// sweep to completion.
+pub fn evaluate_cancellable(
+    z: &Zenesis,
+    dataset: &Dataset,
+    methods: &[Method],
+    cancel: &CancelToken,
+) -> Result<DatasetEval, EvalCancelled> {
+    let records: Vec<Option<Vec<SampleEval>>> = zenesis_par::par_map(&dataset.samples, |sample| {
+        if cancel.is_cancelled() {
+            return None;
+        }
+        Some(evaluate_sample(z, sample, methods))
+    });
+    let total = dataset.samples.len();
+    let completed = records.iter().filter(|r| r.is_some()).count();
     let mut eval = DatasetEval::new();
-    for group in records {
+    for group in records.into_iter().flatten() {
         for r in group {
             eval.push(r);
         }
     }
-    eval
+    if completed < total {
+        return Err(EvalCancelled {
+            completed,
+            total,
+            partial: eval,
+        });
+    }
+    Ok(eval)
 }
 
 /// Evaluate all methods on a single sample.

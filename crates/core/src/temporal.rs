@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use zenesis_image::{BitMask, BoxRegion, Image, Pixel, Volume};
+use zenesis_par::CancelToken;
 use zenesis_sam::{MemoryBank, PromptSet};
 
 use crate::pipeline::{SliceResult, Zenesis};
@@ -48,6 +49,19 @@ pub struct SliceBoxEvent {
     pub used_box: Option<BoxRegion>,
     /// Whether the heuristic replaced the raw box.
     pub corrected: bool,
+}
+
+/// A volume run was cancelled (deadline or explicit stop) before every
+/// slice finished; carries the partial progress for the timeout result.
+#[derive(Debug)]
+pub struct VolumeCancelled {
+    /// Slices that fully completed the cancelled stage.
+    pub completed: usize,
+    /// Slices in the volume.
+    pub total: usize,
+    /// Combined-mask pixel counts of the completed slices, in slice
+    /// order (masks of unreached slices are simply absent).
+    pub per_slice_pixels: Vec<usize>,
 }
 
 /// Result of batch volume processing.
@@ -165,6 +179,21 @@ impl Zenesis {
     /// decoding instead runs sequentially through a SAM2 memory bank,
     /// with the refined box of each slice seeding the cold start.
     pub fn segment_volume<T: Pixel>(&self, vol: &Volume<T>, prompt: &str) -> VolumeResult {
+        self.segment_volume_cancellable(vol, prompt, &CancelToken::new())
+            .expect("a fresh token never cancels")
+    }
+
+    /// [`Zenesis::segment_volume`] with cooperative cancellation: the
+    /// per-slice pipeline loop (stage 1) and the mask-decoding loop
+    /// (stage 3) poll `cancel` before each slice, so a deadline or an
+    /// explicit stop yields [`VolumeCancelled`] with the completed
+    /// slices' pixel counts instead of running the whole volume.
+    pub fn segment_volume_cancellable<T: Pixel>(
+        &self,
+        vol: &Volume<T>,
+        prompt: &str,
+        cancel: &CancelToken,
+    ) -> Result<VolumeResult, VolumeCancelled> {
         let _root = zenesis_obs::span("pipeline.segment_volume");
         let depth = vol.depth();
         // Stage 1: per-slice pipeline (parallel over slices). Workers
@@ -174,7 +203,10 @@ impl Zenesis {
         // clock and mask count are only computed when recording, so
         // `ZENESIS_OBS=off` adds a single atomic add per slice.
         let progress = zenesis_par::Progress::new(depth);
-        let slices: Vec<SliceResult> = zenesis_par::par_map_range(depth, |z| {
+        let maybe_slices: Vec<Option<SliceResult>> = zenesis_par::par_map_range(depth, |z| {
+            if cancel.is_cancelled() {
+                return None;
+            }
             let t0 = zenesis_obs::enabled().then(std::time::Instant::now);
             let r = self.segment_slice(vol.slice(z), prompt);
             progress.tick();
@@ -189,8 +221,21 @@ impl Zenesis {
                     eta_s: progress.eta_secs(),
                 });
             }
-            r
+            Some(r)
         });
+        if maybe_slices.iter().any(|s| s.is_none()) {
+            let per_slice_pixels: Vec<usize> = maybe_slices
+                .iter()
+                .flatten()
+                .map(|s| s.combined.count())
+                .collect();
+            return Err(VolumeCancelled {
+                completed: per_slice_pixels.len(),
+                total: depth,
+                per_slice_pixels,
+            });
+        }
+        let slices: Vec<SliceResult> = maybe_slices.into_iter().flatten().collect();
         // Stage 2: temporal refinement over the primary (highest-score)
         // boxes.
         let refine_span = zenesis_obs::span("temporal.refine");
@@ -210,30 +255,51 @@ impl Zenesis {
         }
         // Stage 3: decode masks with the refined primary box plus the
         // secondary (non-primary) boxes that pass the same size screen.
+        // The same cancellation checkpoint guards each decode: a deadline
+        // that fires mid-decode still returns promptly.
         let _decode = zenesis_obs::span("temporal.decode");
-        let masks: Vec<BitMask> = if self.config.use_memory {
+        let maybe_masks: Vec<Option<BitMask>> = if self.config.use_memory {
             let mut bank = MemoryBank::new(self.config.temporal.window.max(1));
             let mut out = Vec::with_capacity(depth);
             for z in 0..depth {
+                if cancel.is_cancelled() {
+                    out.push(None);
+                    continue;
+                }
                 // Arc clone: shares the adapted pixels with the slice result.
                 let adapted = Arc::clone(&slices[z].adapted);
                 let used_box = used[z];
                 let mask = bank.propagate(self.sam(), &adapted, || {
                     self.decode_with_box(&adapted, used_box, &slices[z], window_dims[z])
                 });
-                out.push(mask);
+                out.push(Some(mask));
             }
             out
         } else {
             zenesis_par::par_map_range(depth, |z| {
-                self.decode_with_box(&slices[z].adapted, used[z], &slices[z], window_dims[z])
+                if cancel.is_cancelled() {
+                    return None;
+                }
+                Some(self.decode_with_box(&slices[z].adapted, used[z], &slices[z], window_dims[z]))
             })
         };
-        VolumeResult {
-            masks,
+        if maybe_masks.iter().any(|m| m.is_none()) {
+            let per_slice_pixels: Vec<usize> = maybe_masks
+                .iter()
+                .flatten()
+                .map(|m| m.count())
+                .collect();
+            return Err(VolumeCancelled {
+                completed: per_slice_pixels.len(),
+                total: depth,
+                per_slice_pixels,
+            });
+        }
+        Ok(VolumeResult {
+            masks: maybe_masks.into_iter().flatten().collect(),
             slices,
             events,
-        }
+        })
     }
 
     /// Decode a slice using a refined primary box (if any) together with

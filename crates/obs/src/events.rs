@@ -6,6 +6,9 @@
 //! (live progress with rate and ETA), the temporal heuristic reports each
 //! box replacement, rectification reports what the user's click picked,
 //! and the job layer brackets every run with `job.start` / `job.end`.
+//! The serving layer (`zenesis-serve`) adds the queueing taxonomy:
+//! `job.queued`, `job.rejected` (load shed), `job.timeout` (deadline),
+//! `job.panic` (isolated panic), and `job.retry` (transient-input backoff).
 //! The `repro` harness and `zenesis-cli` serialize the stream with
 //! `--events-out events.jsonl` — one JSON object per line, ready for
 //! `jq`/`grep` (see `docs/OBSERVABILITY.md` for the taxonomy).
@@ -47,6 +50,44 @@ pub enum Event {
         ok: bool,
         /// Wall-clock duration of the job, milliseconds.
         dur_ms: f64,
+    },
+    /// A served job was accepted into the service queue.
+    JobQueued {
+        /// Serving-layer job id (the request's line number or envelope id).
+        id: u64,
+        /// Queue depth immediately after enqueueing (this job included).
+        depth: usize,
+    },
+    /// A served job was load-shed because the bounded queue was full.
+    JobRejected {
+        /// Serving-layer job id.
+        id: u64,
+        /// Queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// A served job hit its deadline and returned a partial/timeout result.
+    JobTimeout {
+        /// Serving-layer job id.
+        id: u64,
+        /// Wall-clock time from submit to the timeout result, milliseconds.
+        dur_ms: f64,
+    },
+    /// A served job panicked; the worker survived and converted the panic
+    /// into a structured error result.
+    JobPanic {
+        /// Serving-layer job id.
+        id: u64,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// A served job is being retried after a transient input failure.
+    JobRetry {
+        /// Serving-layer job id.
+        id: u64,
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+        /// Backoff delay before this attempt, milliseconds.
+        delay_ms: u64,
     },
     /// One slice of a Mode B batch volume finished its per-slice pipeline.
     SliceDone {
@@ -112,6 +153,11 @@ impl Event {
         match self {
             Event::JobStart { .. } => "job.start",
             Event::JobEnd { .. } => "job.end",
+            Event::JobQueued { .. } => "job.queued",
+            Event::JobRejected { .. } => "job.rejected",
+            Event::JobTimeout { .. } => "job.timeout",
+            Event::JobPanic { .. } => "job.panic",
+            Event::JobRetry { .. } => "job.retry",
             Event::SliceDone { .. } => "slice.done",
             Event::TemporalReplace { .. } => "temporal.replace",
             Event::RectifyPick { .. } => "rectify.pick",
@@ -221,6 +267,39 @@ pub fn event_json(rec: &EventRecord) -> Value {
             field(&mut m, "mode", Value::String(mode.to_string()));
             field(&mut m, "ok", Value::Bool(*ok));
             field(&mut m, "dur_ms", Value::Number(Number::F(*dur_ms)));
+        }
+        Event::JobQueued { id, depth } => {
+            field(&mut m, "id", Value::Number(Number::U(*id)));
+            field(&mut m, "depth", Value::Number(Number::U(*depth as u64)));
+        }
+        Event::JobRejected { id, capacity } => {
+            field(&mut m, "id", Value::Number(Number::U(*id)));
+            field(
+                &mut m,
+                "capacity",
+                Value::Number(Number::U(*capacity as u64)),
+            );
+        }
+        Event::JobTimeout { id, dur_ms } => {
+            field(&mut m, "id", Value::Number(Number::U(*id)));
+            field(&mut m, "dur_ms", Value::Number(Number::F(*dur_ms)));
+        }
+        Event::JobPanic { id, message } => {
+            field(&mut m, "id", Value::Number(Number::U(*id)));
+            field(&mut m, "message", Value::String(message.clone()));
+        }
+        Event::JobRetry {
+            id,
+            attempt,
+            delay_ms,
+        } => {
+            field(&mut m, "id", Value::Number(Number::U(*id)));
+            field(&mut m, "attempt", Value::Number(Number::U(*attempt as u64)));
+            field(
+                &mut m,
+                "delay_ms",
+                Value::Number(Number::U(*delay_ms)),
+            );
         }
         Event::SliceDone {
             index,
@@ -392,5 +471,54 @@ mod tests {
             Event::CacheMiss { cache: "sam.embed".into() }.kind(),
             "cache.miss"
         );
+        assert_eq!(Event::JobQueued { id: 1, depth: 2 }.kind(), "job.queued");
+        assert_eq!(
+            Event::JobRejected { id: 1, capacity: 8 }.kind(),
+            "job.rejected"
+        );
+        assert_eq!(
+            Event::JobTimeout { id: 1, dur_ms: 5.0 }.kind(),
+            "job.timeout"
+        );
+        assert_eq!(
+            Event::JobPanic { id: 1, message: "boom".into() }.kind(),
+            "job.panic"
+        );
+        assert_eq!(
+            Event::JobRetry { id: 1, attempt: 1, delay_ms: 50 }.kind(),
+            "job.retry"
+        );
+    }
+
+    #[test]
+    fn serve_events_serialize_payload_fields() {
+        let _g = LOCK.lock();
+        let before = crate::level();
+        crate::set_level(ObsLevel::Spans);
+        reset_events();
+        emit(Event::JobQueued { id: 7, depth: 3 });
+        emit(Event::JobRejected { id: 8, capacity: 4 });
+        emit(Event::JobTimeout { id: 7, dur_ms: 120.5 });
+        emit(Event::JobPanic { id: 9, message: "index out of bounds".into() });
+        emit(Event::JobRetry { id: 10, attempt: 2, delay_ms: 100 });
+        let lines: Vec<serde_json::Value> = events_jsonl()
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[0]["event"], "job.queued");
+        assert_eq!(lines[0]["id"], 7);
+        assert_eq!(lines[0]["depth"], 3);
+        assert_eq!(lines[1]["event"], "job.rejected");
+        assert_eq!(lines[1]["capacity"], 4);
+        assert_eq!(lines[2]["event"], "job.timeout");
+        assert_eq!(lines[2]["dur_ms"], 120.5);
+        assert_eq!(lines[3]["event"], "job.panic");
+        assert_eq!(lines[3]["message"], "index out of bounds");
+        assert_eq!(lines[4]["event"], "job.retry");
+        assert_eq!(lines[4]["attempt"], 2);
+        assert_eq!(lines[4]["delay_ms"], 100);
+        reset_events();
+        crate::set_level(before);
     }
 }

@@ -1,0 +1,146 @@
+//! Cooperative cancellation with optional deadlines.
+//!
+//! A [`CancelToken`] is a cheap, clonable handle shared between a
+//! controller (a serving layer enforcing per-job deadlines, a UI with a
+//! stop button) and the compute code doing the work. Cancellation is
+//! *cooperative*: long loops poll [`CancelToken::is_cancelled`] at natural
+//! checkpoints (per slice, per sample) and unwind gracefully with partial
+//! results — nothing is ever killed mid-kernel, so invariants hold and
+//! caches stay consistent.
+//!
+//! Deadlines are folded into the same check: a token built with
+//! [`CancelToken::with_deadline`] reports cancelled as soon as the
+//! monotonic clock passes the deadline, with no timer thread. A poll is
+//! one relaxed atomic load plus (when a deadline exists) one monotonic
+//! clock read, cheap enough for per-slice granularity.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A clonable cancellation handle; see the module docs.
+///
+/// All clones share state: cancelling any clone cancels them all.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .field("deadline", &self.inner.deadline)
+            .finish()
+    }
+}
+
+impl CancelToken {
+    /// A token with no deadline; cancels only via [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that auto-cancels once `timeout` has elapsed from now.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        Self::with_deadline_at(Instant::now() + timeout)
+    }
+
+    /// A token that auto-cancels at an absolute monotonic instant
+    /// (lets a server count queue wait against the job's budget).
+    pub fn with_deadline_at(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Request cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// True once cancelled explicitly or past the deadline.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    /// True when the deadline (if any) has passed — distinguishes a
+    /// timeout from an explicit cancel when reporting to the user.
+    pub fn deadline_exceeded(&self) -> bool {
+        matches!(self.inner.deadline, Some(d) if Instant::now() >= d)
+    }
+
+    /// Time left until the deadline (`None` when no deadline was set;
+    /// zero once exceeded).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_not_cancelled() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(!t.deadline_exceeded());
+        assert_eq!(t.remaining(), None);
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        c.cancel();
+        assert!(t.is_cancelled());
+        assert!(!t.deadline_exceeded(), "explicit cancel is not a timeout");
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let t = CancelToken::with_deadline(Duration::from_millis(5));
+        assert!(t.remaining().is_some());
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(t.is_cancelled());
+        assert!(t.deadline_exceeded());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn far_deadline_not_yet_cancelled() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(!t.deadline_exceeded());
+    }
+}

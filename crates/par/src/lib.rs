@@ -20,13 +20,19 @@
 //!
 //! Thread count is controlled globally via [`set_threads`] (or the
 //! `ZENESIS_THREADS` environment variable) so benchmarks can sweep scaling.
+//!
+//! Long-running work (batch volumes, evaluation sweeps, served jobs) can
+//! be interrupted cooperatively through a [`CancelToken`], which also
+//! carries optional deadlines for the serving layer.
 
+mod cancel;
 mod config;
 mod join;
 mod pool;
 mod progress;
 mod scope;
 
+pub use cancel::CancelToken;
 pub use config::{available_parallelism, current_threads, set_threads, ThreadsGuard};
 pub use join::join;
 pub use pool::ThreadPool;

@@ -12,7 +12,20 @@
 //! (`par.pool.wait.lat`, `par.pool.task.lat`), and per-worker busy time
 //! (`par.pool.worker{i}.busy_ns`). At any enabled level, jobs inherit the
 //! submitter's span so their own spans attribute correctly.
+//!
+//! ## Panic safety
+//!
+//! A panicking job must not take the pool down with it. Workers run every
+//! job under [`std::panic::catch_unwind`] and decrement the pending count
+//! through a drop guard, so a panic neither kills the worker thread nor
+//! strands [`ThreadPool::wait_idle`] waiting on a count that will never
+//! reach zero. Panics are swallowed (the job had no result channel to
+//! poison) and tallied in the `par.pool.panic` counter; layers that need
+//! the payload (e.g. `zenesis-serve`) catch it themselves before the job
+//! reaches the pool.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -24,6 +37,24 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 struct Shared {
     pending: Mutex<usize>,
     idle: Condvar,
+    /// Jobs that panicked (also mirrored to the `par.pool.panic` counter
+    /// when observability is enabled; this field is always exact).
+    panics: AtomicU64,
+}
+
+/// Decrements `pending` (and wakes idle waiters) when dropped — on the
+/// normal path *and* during unwinding, so a panicking job can never
+/// leave the count stuck above zero.
+struct PendingGuard<'a>(&'a Shared);
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        let mut pending = self.0.pending.lock();
+        *pending -= 1;
+        if *pending == 0 {
+            self.0.idle.notify_all();
+        }
+    }
 }
 
 /// A fixed-size pool of worker threads executing boxed jobs.
@@ -41,6 +72,7 @@ impl ThreadPool {
         let shared = Arc::new(Shared {
             pending: Mutex::new(0),
             idle: Condvar::new(),
+            panics: AtomicU64::new(0),
         });
         let mut workers = Vec::with_capacity(n);
         for i in 0..n {
@@ -51,15 +83,21 @@ impl ThreadPool {
                 .spawn(move || {
                     let busy = zenesis_obs::counter(format!("par.pool.worker{i}.busy_ns"));
                     while let Ok(job) = rx.recv() {
+                        // The guard decrements even when `job()` unwinds.
+                        let _pending = PendingGuard(&shared);
                         let t0 = zenesis_obs::full().then(Instant::now);
-                        job();
+                        // `Job` captures arbitrary state, so it is not
+                        // formally unwind-safe; the pool never observes
+                        // that state again (fire-and-forget), so a
+                        // broken invariant cannot leak back out.
+                        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                            shared.panics.fetch_add(1, Ordering::Relaxed);
+                            if zenesis_obs::enabled() {
+                                zenesis_obs::counter("par.pool.panic").inc();
+                            }
+                        }
                         if let Some(t0) = t0 {
                             busy.add(t0.elapsed().as_nanos() as u64);
-                        }
-                        let mut pending = shared.pending.lock();
-                        *pending -= 1;
-                        if *pending == 0 {
-                            shared.idle.notify_all();
                         }
                     }
                 })
@@ -123,7 +161,15 @@ impl ThreadPool {
             .expect("pool workers gone");
     }
 
-    /// Block until every submitted job has finished.
+    /// Number of jobs that panicked since the pool was created. Panicking
+    /// jobs complete (their worker survives and keeps serving); this
+    /// count is how a caller learns some of them failed.
+    pub fn panics(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Block until every submitted job has finished (normally or by
+    /// panicking — see [`ThreadPool::panics`]).
     pub fn wait_idle(&self) {
         let mut pending = self.shared.pending.lock();
         while *pending != 0 {
@@ -188,6 +234,74 @@ mod tests {
     fn zero_workers_clamped() {
         let pool = ThreadPool::new(0);
         assert_eq!(pool.workers(), 1);
+    }
+
+    /// Run `f` with the default panic hook replaced by a silent one, so
+    /// deliberately-panicking pool jobs don't flood the test output.
+    /// Serialized: the hook is process-global.
+    fn with_quiet_panics(f: impl FnOnce()) {
+        static HOOK: Mutex<()> = Mutex::new(());
+        let _g = HOOK.lock();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = catch_unwind(AssertUnwindSafe(f));
+        std::panic::set_hook(prev);
+        if let Err(p) = r {
+            std::panic::resume_unwind(p);
+        }
+    }
+
+    #[test]
+    fn panicking_job_does_not_deadlock_wait_idle() {
+        // Regression: a panicking job used to kill its worker thread
+        // before `pending` was decremented, so `wait_idle` hung forever
+        // and later `execute` calls could hit a closed channel.
+        with_quiet_panics(|| {
+            let pool = ThreadPool::new(2);
+            let counter = Arc::new(AtomicUsize::new(0));
+            for i in 0..100 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    if i % 3 == 0 {
+                        panic!("job {i} failed");
+                    }
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait_idle(); // must terminate
+            assert_eq!(counter.load(Ordering::Relaxed), 66);
+            assert_eq!(pool.panics(), 34);
+            // Workers survived: the pool still executes new work.
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+            pool.wait_idle();
+            assert_eq!(counter.load(Ordering::Relaxed), 67);
+        });
+    }
+
+    #[test]
+    fn all_workers_survive_simultaneous_panics() {
+        // More panicking jobs than workers, submitted back-to-back: every
+        // worker sees at least one panic and must keep draining.
+        with_quiet_panics(|| {
+            let pool = ThreadPool::new(3);
+            for _ in 0..30 {
+                pool.execute(|| panic!("boom"));
+            }
+            pool.wait_idle();
+            assert_eq!(pool.panics(), 30);
+            let done = Arc::new(AtomicUsize::new(0));
+            for _ in 0..10 {
+                let d = Arc::clone(&done);
+                pool.execute(move || {
+                    d.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait_idle();
+            assert_eq!(done.load(Ordering::Relaxed), 10);
+        });
     }
 
     #[test]

@@ -210,6 +210,22 @@ impl Sam {
         }
         let emb = Arc::new(self.encode(img));
         let mut cache = self.cache.lock();
+        // Re-check under the lock: a racing thread may have inserted the
+        // same image while we encoded. Inserting a second entry would
+        // waste a slot and evict a live embedding, so adopt the winner's
+        // entry (keeping one shared `Arc`) and discard ours.
+        if let Some(pos) = cache
+            .iter()
+            .position(|e| e.hash == h && e.sigma == sigma && e.img == *img)
+        {
+            let entry = cache.remove(pos);
+            let existing = Arc::clone(&entry.emb);
+            cache.push(entry); // the race still counts as a use: MRU
+            if zenesis_obs::enabled() {
+                zenesis_obs::counter("sam.embed_cache.race").inc();
+            }
+            return existing;
+        }
         if cache.len() >= EMBED_CACHE_CAP {
             cache.remove(0);
         }
@@ -220,6 +236,12 @@ impl Sam {
             emb: Arc::clone(&emb),
         });
         emb
+    }
+
+    /// Number of embeddings currently cached (diagnostics; the capacity
+    /// is fixed at 8 entries).
+    pub fn embed_cache_len(&self) -> usize {
+        self.cache.lock().len()
     }
 
     /// Decode a prompt set into multimask predictions, best first.
@@ -448,6 +470,43 @@ mod tests {
         let last = sam.encode_cached(&imgs[EMBED_CACHE_CAP]);
         let last2 = sam.encode_cached(&imgs[EMBED_CACHE_CAP]);
         assert!(Arc::ptr_eq(&last, &last2));
+    }
+
+    #[test]
+    fn concurrent_encode_cached_inserts_one_entry() {
+        // Regression: racing misses on the same image each pushed their
+        // own CacheEntry, burning LRU slots and evicting live embeddings.
+        // Use a barrier so every thread misses before any can insert.
+        let sam = std::sync::Arc::new(Sam::new(SamConfig::default()));
+        let img = disk_image();
+        let n = 8;
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(n));
+        let embs: Vec<Arc<ImageEmbedding>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|_| {
+                    let sam = std::sync::Arc::clone(&sam);
+                    let barrier = std::sync::Arc::clone(&barrier);
+                    let img = img.clone();
+                    s.spawn(move || {
+                        barrier.wait();
+                        sam.encode_cached(&img)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            sam.embed_cache_len(),
+            1,
+            "racing misses must collapse to one cache entry"
+        );
+        // Every subsequent lookup shares the single surviving Arc.
+        let canonical = sam.encode_cached(&img);
+        assert!(Arc::ptr_eq(&sam.encode_cached(&img), &canonical));
+        assert!(
+            embs.iter().any(|e| Arc::ptr_eq(e, &canonical)),
+            "the cached embedding must be one of the raced results"
+        );
     }
 
     #[test]

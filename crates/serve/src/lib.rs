@@ -1,0 +1,28 @@
+//! # zenesis-serve
+//!
+//! A panic-safe concurrent job service over the no-code contract
+//! (`zenesis-core::job`). The paper's platform is a web application; this
+//! crate is its backend serving layer: JSONL requests in, JSONL results
+//! out, with the failure modes a shared service must make explicit —
+//!
+//! * a **bounded queue** that sheds load with typed `busy` responses
+//!   instead of growing without bound ([`queue`]);
+//! * **per-job deadlines** enforced cooperatively through
+//!   [`zenesis_par::CancelToken`], counting queue wait against the
+//!   budget and returning partial progress on expiry;
+//! * **panic isolation** so one malformed job can never take down the
+//!   worker pool;
+//! * **retry with exponential backoff** for transient file-input
+//!   failures;
+//! * **graceful shutdown** that drains accepted jobs before exiting.
+//!
+//! The `zenesis-serve` binary speaks the protocol over stdin/stdout
+//! (pipe mode) and over TCP (`--tcp ADDR`); see `docs/SERVING.md`.
+
+pub mod proto;
+pub mod queue;
+pub mod server;
+
+pub use proto::{parse_request, Request, Response};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{JobRunner, ServeConfig, Server};

@@ -1,0 +1,240 @@
+//! `zenesis-serve` — the JSONL job service binary.
+//!
+//! Pipe mode (default): reads one request per stdin line, writes one
+//! response per line to stdout, drains and exits at EOF.
+//!
+//! ```text
+//! zenesis-serve [--workers N] [--queue-cap N] [--deadline-ms MS]
+//!               [--max-retries N] [--retry-base-ms MS]
+//!               [--tcp ADDR] [--events-out F] [--ledger-out F]
+//!               [--label NAME] < jobs.jsonl > results.jsonl
+//! ```
+//!
+//! TCP mode (`--tcp 127.0.0.1:7878`): every connection speaks the same
+//! line protocol; responses go back on the submitting connection.
+//! Observability sinks are written at exit, exactly like `zenesis-cli`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::sync::Arc;
+use std::time::Instant;
+
+use zenesis_serve::{ServeConfig, Server};
+
+/// Pull the value following a `--flag` out of `args` (both removed).
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    args.remove(i);
+    if i < args.len() {
+        Some(args.remove(i))
+    } else {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, raw: Option<String>) -> Option<T> {
+    raw.map(|s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("{flag} expects a number, got {s:?}");
+            std::process::exit(2);
+        })
+    })
+}
+
+struct ObsSinks {
+    events_out: Option<String>,
+    ledger_out: Option<String>,
+    label: String,
+    started: Instant,
+}
+
+impl ObsSinks {
+    fn write(&self) {
+        if let Some(path) = &self.events_out {
+            let dropped = zenesis_obs::events::dropped_events();
+            if dropped > 0 {
+                eprintln!("event buffer overflowed; {dropped} oldest events dropped");
+            }
+            match std::fs::write(path, zenesis_obs::events::events_jsonl()) {
+                Ok(()) => eprintln!("event stream written to {path}"),
+                Err(e) => eprintln!("failed to write events {path}: {e}"),
+            }
+        }
+        if let Some(path) = &self.ledger_out {
+            let ledger = zenesis_ledger::Ledger::capture(
+                &self.label,
+                &zenesis_ledger::fingerprint(&self.label),
+                0,
+                0,
+                self.started.elapsed().as_secs_f64(),
+                Vec::new(),
+            );
+            match std::fs::write(path, ledger.to_json()) {
+                Ok(()) => eprintln!("run ledger written to {path}"),
+                Err(e) => eprintln!("failed to write ledger {path}: {e}"),
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "zenesis-serve: JSONL job service (stdin/stdout pipe, or --tcp ADDR)\n\
+             \n\
+             flags:\n\
+             \x20 --workers N        worker threads (default: cores, capped at 8)\n\
+             \x20 --queue-cap N      bounded queue capacity (default 64)\n\
+             \x20 --deadline-ms MS   default per-job deadline (default: none)\n\
+             \x20 --max-retries N    transient-input retries (default 2)\n\
+             \x20 --retry-base-ms MS first backoff, doubles per attempt (default 25)\n\
+             \x20 --tcp ADDR         serve a TCP listener instead of stdin/stdout\n\
+             \x20 --events-out F     write the job.* event stream as JSONL at exit\n\
+             \x20 --ledger-out F     write a run ledger (latencies + counters) at exit\n\
+             \x20 --label NAME       ledger label (default \"serve\")"
+        );
+        return;
+    }
+
+    let sinks = ObsSinks {
+        events_out: take_flag_value(&mut args, "--events-out"),
+        ledger_out: take_flag_value(&mut args, "--ledger-out"),
+        label: take_flag_value(&mut args, "--label").unwrap_or_else(|| "serve".into()),
+        started: Instant::now(),
+    };
+    if (sinks.events_out.is_some() || sinks.ledger_out.is_some())
+        && std::env::var_os("ZENESIS_OBS").is_none()
+    {
+        zenesis_obs::set_level(zenesis_obs::ObsLevel::Spans);
+    }
+
+    let mut config = ServeConfig::default();
+    if let Some(n) = parse_num("--workers", take_flag_value(&mut args, "--workers")) {
+        config.workers = n;
+    }
+    if let Some(n) = parse_num("--queue-cap", take_flag_value(&mut args, "--queue-cap")) {
+        config.queue_cap = n;
+    }
+    config.default_deadline_ms =
+        parse_num("--deadline-ms", take_flag_value(&mut args, "--deadline-ms"));
+    if let Some(n) = parse_num("--max-retries", take_flag_value(&mut args, "--max-retries")) {
+        config.max_retries = n;
+    }
+    if let Some(n) = parse_num(
+        "--retry-base-ms",
+        take_flag_value(&mut args, "--retry-base-ms"),
+    ) {
+        config.retry_base_ms = n;
+    }
+    let tcp = take_flag_value(&mut args, "--tcp");
+    if let Some(stray) = args.first() {
+        eprintln!("unknown argument {stray:?} (see --help)");
+        std::process::exit(2);
+    }
+
+    let server = Server::start(config);
+    match tcp {
+        Some(addr) => serve_tcp(server, &addr),
+        None => serve_pipe(server),
+    }
+    sinks.write();
+}
+
+/// Pipe mode: stdin lines in, stdout lines out. A writer thread owns
+/// stdout so slow jobs never block submission, and EOF triggers a
+/// graceful drain (every accepted job still answers).
+fn serve_pipe(server: Server) {
+    let (tx, rx) = crossbeam::channel::unbounded::<zenesis_serve::Response>();
+    let writer = std::thread::spawn(move || {
+        let stdout = std::io::stdout();
+        while let Ok(resp) = rx.recv() {
+            let mut out = stdout.lock();
+            if writeln!(out, "{}", resp.to_json_line()).and_then(|_| out.flush()).is_err() {
+                break; // downstream closed; keep draining silently
+            }
+        }
+    });
+    let stdin = std::io::stdin();
+    let mut line_no = 0u64;
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("stdin read error: {e}");
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        line_no += 1;
+        server.submit_line(&line, line_no, &tx);
+    }
+    server.shutdown(); // drain: every queued job still responds
+    drop(tx); // writer exits once the last response is flushed
+    let _ = writer.join();
+}
+
+/// TCP mode: one protocol session per connection, all feeding the same
+/// shared worker pool and bounded queue.
+fn serve_tcp(server: Server, addr: &str) {
+    let listener = match std::net::TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("zenesis-serve listening on {addr}");
+    let server = Arc::new(server);
+    let mut sessions = Vec::new();
+    for conn in listener.incoming() {
+        let stream = match conn {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("accept error: {e}");
+                continue;
+            }
+        };
+        let server = Arc::clone(&server);
+        sessions.push(std::thread::spawn(move || {
+            let peer = stream
+                .peer_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "?".into());
+            let (tx, rx) = crossbeam::channel::unbounded::<zenesis_serve::Response>();
+            let mut write_half = match stream.try_clone() {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("[{peer}] cannot clone stream: {e}");
+                    return;
+                }
+            };
+            let writer = std::thread::spawn(move || {
+                while let Ok(resp) = rx.recv() {
+                    if writeln!(write_half, "{}", resp.to_json_line()).is_err() {
+                        break; // peer went away; drain remaining replies
+                    }
+                }
+            });
+            let mut line_no = 0u64;
+            for line in BufReader::new(stream).lines() {
+                let line = match line {
+                    Ok(l) => l,
+                    Err(_) => break,
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                line_no += 1;
+                server.submit_line(&line, line_no, &tx);
+            }
+            drop(tx);
+            let _ = writer.join();
+        }));
+    }
+    for s in sessions {
+        let _ = s.join();
+    }
+}

@@ -1,0 +1,219 @@
+//! The JSONL wire protocol.
+//!
+//! One request per line, one response per line, in submission order is
+//! *not* guaranteed (workers finish out of order) — responses carry the
+//! request `id` so clients can correlate.
+//!
+//! A request line is either a bare [`JobSpec`] (exactly what
+//! `run_job_json` accepts) or an **envelope** that wraps one with
+//! serving metadata:
+//!
+//! ```json
+//! {"id": 7, "deadline_ms": 2000, "spec": {"mode": "interactive", ...}}
+//! ```
+//!
+//! The envelope is detected by the presence of a `"spec"` key (bare
+//! specs never have one: their top-level keys are `mode`/`input`/...).
+//! `id` defaults to the line number the server assigns; `deadline_ms`
+//! defaults to the server's `--deadline-ms` (unlimited when neither is
+//! set). The deadline clock starts at *submission*, so time spent queued
+//! counts against it — a job that waited out its whole budget in the
+//! queue reports `timeout` without occupying a worker for real work.
+//!
+//! Every response is one compact JSON object:
+//!
+//! ```json
+//! {"id": 7, "status": "ok", "attempts": 1, "queue_ms": 0.4,
+//!  "run_ms": 113.0, "result": {"kind": "slice", ...}}
+//! ```
+//!
+//! `status` is the four-way failure taxonomy: `ok` (completed work),
+//! `error` (bad spec, bad input, or an isolated panic), `busy` (load
+//! shed — resubmit later), `timeout` (deadline hit; `result` carries the
+//! partial progress counts).
+
+use serde_json::{Map, Number, Value};
+use zenesis_core::job::{JobResult, JobSpec};
+
+/// A parsed request line.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Correlation id (from the envelope, or assigned by the server).
+    pub id: u64,
+    /// Per-job deadline override in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// The job to run.
+    pub spec: JobSpec,
+}
+
+/// Parse one request line. `fallback_id` (the server's line counter) is
+/// used when the line is bare or the envelope omits `id`.
+pub fn parse_request(line: &str, fallback_id: u64) -> Result<Request, String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| format!("invalid job spec: {e}"))?;
+    let is_envelope = v.as_object().is_some_and(|o| o.contains_key("spec"));
+    if is_envelope {
+        let id = v.get("id").and_then(|x| x.as_u64()).unwrap_or(fallback_id);
+        let deadline_ms = v.get("deadline_ms").and_then(|x| x.as_u64());
+        let spec_value = v.get("spec").expect("envelope has spec");
+        let spec: JobSpec = serde_json::from_value(spec_value)
+            .map_err(|e| format!("invalid job spec: {e}"))?;
+        Ok(Request {
+            id,
+            deadline_ms,
+            spec,
+        })
+    } else {
+        let spec: JobSpec =
+            serde_json::from_value(&v).map_err(|e| format!("invalid job spec: {e}"))?;
+        Ok(Request {
+            id: fallback_id,
+            deadline_ms: None,
+            spec,
+        })
+    }
+}
+
+/// One response line.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Correlation id of the request this answers.
+    pub id: u64,
+    /// Execution attempts (0 when the job never reached a worker:
+    /// parse errors and load sheds).
+    pub attempts: u32,
+    /// Milliseconds spent queued before a worker picked the job up.
+    pub queue_ms: f64,
+    /// Milliseconds of worker execution (all attempts and backoff).
+    pub run_ms: f64,
+    /// The job's structured result.
+    pub result: JobResult,
+}
+
+impl Response {
+    /// The response's `status` field, derived from the result variant.
+    pub fn status(&self) -> &'static str {
+        match &self.result {
+            JobResult::Slice { .. } | JobResult::Volume { .. } | JobResult::Evaluation { .. } => {
+                "ok"
+            }
+            JobResult::Error { .. } => "error",
+            JobResult::Busy { .. } => "busy",
+            JobResult::Timeout { .. } => "timeout",
+        }
+    }
+
+    /// Serialize as one compact JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut m = Map::new();
+        m.insert("id", Value::Number(Number::U(self.id)));
+        m.insert("status", Value::String(self.status().to_string()));
+        m.insert("attempts", Value::Number(Number::U(self.attempts as u64)));
+        m.insert("queue_ms", Value::Number(Number::F(self.queue_ms)));
+        m.insert("run_ms", Value::Number(Number::F(self.run_ms)));
+        let result_json = serde_json::to_string(&self.result).expect("results serialize");
+        let result_value: Value =
+            serde_json::from_str(&result_json).expect("results round-trip");
+        m.insert("result", result_value);
+        Value::Object(m).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BARE: &str = r#"{"mode": "interactive",
+        "input": {"source": "phantom_slice", "kind": "amorphous", "seed": 3},
+        "prompt": "bright particles"}"#;
+
+    #[test]
+    fn bare_spec_gets_fallback_id_and_no_deadline() {
+        let req = parse_request(BARE, 42).unwrap();
+        assert_eq!(req.id, 42);
+        assert_eq!(req.deadline_ms, None);
+        assert!(matches!(req.spec, JobSpec::Interactive { .. }));
+    }
+
+    #[test]
+    fn envelope_carries_id_and_deadline() {
+        let line = format!(r#"{{"id": 9, "deadline_ms": 1500, "spec": {BARE}}}"#);
+        let req = parse_request(&line, 42).unwrap();
+        assert_eq!(req.id, 9);
+        assert_eq!(req.deadline_ms, Some(1500));
+    }
+
+    #[test]
+    fn envelope_without_id_uses_fallback() {
+        let line = format!(r#"{{"spec": {BARE}}}"#);
+        let req = parse_request(&line, 7).unwrap();
+        assert_eq!(req.id, 7);
+    }
+
+    #[test]
+    fn malformed_lines_are_errors_not_panics() {
+        assert!(parse_request("{not json", 1).is_err());
+        assert!(parse_request(r#"{"spec": {"mode": "nope"}}"#, 1).is_err());
+        assert!(parse_request(r#"{"mode": "nope"}"#, 1).is_err());
+    }
+
+    #[test]
+    fn response_line_is_one_json_object() {
+        let resp = Response {
+            id: 3,
+            attempts: 1,
+            queue_ms: 0.5,
+            run_ms: 12.0,
+            result: JobResult::Error {
+                message: "nope".into(),
+            },
+        };
+        let line = resp.to_json_line();
+        assert!(!line.contains('\n'));
+        let v: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v.get("id").and_then(|x| x.as_u64()), Some(3));
+        assert_eq!(v.get("status").and_then(|x| x.as_str()), Some("error"));
+        assert_eq!(
+            v.get("result")
+                .and_then(|r| r.get("message"))
+                .and_then(|x| x.as_str()),
+            Some("nope")
+        );
+    }
+
+    #[test]
+    fn status_taxonomy_covers_all_variants() {
+        let mk = |result| Response {
+            id: 0,
+            attempts: 0,
+            queue_ms: 0.0,
+            run_ms: 0.0,
+            result,
+        };
+        assert_eq!(
+            mk(JobResult::Busy {
+                message: "full".into(),
+                capacity: 4
+            })
+            .status(),
+            "busy"
+        );
+        assert_eq!(
+            mk(JobResult::Timeout {
+                message: "late".into(),
+                completed: 1,
+                total: 4
+            })
+            .status(),
+            "timeout"
+        );
+        assert_eq!(
+            mk(JobResult::Volume {
+                depth: 1,
+                corrections: 0,
+                per_slice_pixels: vec![9]
+            })
+            .status(),
+            "ok"
+        );
+    }
+}

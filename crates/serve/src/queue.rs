@@ -1,0 +1,184 @@
+//! A bounded MPMC job queue with load shedding and graceful close.
+//!
+//! The service's admission control lives here: [`BoundedQueue::try_push`]
+//! never blocks — when the queue is at capacity the job is handed back to
+//! the caller, which turns it into a typed `busy` response (load
+//! shedding, the behavior a saturated service owes its clients: a fast
+//! honest "no" instead of unbounded memory growth or head-of-line
+//! latency). Workers block in [`BoundedQueue::pop`]; [`BoundedQueue::close`]
+//! starts a graceful drain: no new pushes are admitted, pops keep
+//! returning queued jobs until the queue is empty, then return `None` so
+//! workers exit.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Why [`BoundedQueue::try_push`] refused a job; carries the job back.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity — shed load.
+    Full(T),
+    /// The queue is closed (shutdown in progress) — no new admissions.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+/// The bounded queue; clones share the same underlying channel.
+pub struct BoundedQueue<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for BoundedQueue<T> {
+    fn clone(&self) -> Self {
+        BoundedQueue {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> BoundedQueue<T> {
+    /// Create a queue admitting at most `capacity` jobs (clamped ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    items: VecDeque::new(),
+                    closed: false,
+                }),
+                not_empty: Condvar::new(),
+                capacity: capacity.max(1),
+            }),
+        }
+    }
+
+    /// Admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking push. Returns the depth after insertion, or the job
+    /// back if the queue is full or closed.
+    pub fn try_push(&self, job: T) -> Result<usize, PushError<T>> {
+        let mut s = self.inner.state.lock();
+        if s.closed {
+            return Err(PushError::Closed(job));
+        }
+        if s.items.len() >= self.inner.capacity {
+            return Err(PushError::Full(job));
+        }
+        s.items.push_back(job);
+        let depth = s.items.len();
+        drop(s);
+        self.inner.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocking pop. Returns `None` once the queue is closed *and*
+    /// drained — the worker-exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.inner.state.lock();
+        loop {
+            if let Some(job) = s.items.pop_front() {
+                return Some(job);
+            }
+            if s.closed {
+                return None;
+            }
+            self.inner.not_empty.wait(&mut s);
+        }
+    }
+
+    /// Begin a graceful drain: refuse new pushes, let pops empty the
+    /// queue, then release every blocked worker.
+    pub fn close(&self) {
+        let mut s = self.inner.state.lock();
+        s.closed = true;
+        drop(s);
+        self.inner.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_sheds() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        match q.try_push(3) {
+            Err(PushError::Full(3)) => {}
+            other => panic!("expected Full(3), got {other:?}"),
+        }
+        // Popping frees a slot.
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_releases_workers() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        q.close();
+        match q.try_push(99) {
+            Err(PushError::Closed(99)) => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        // Every queued job still comes out, then None.
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_close() {
+        let q = BoundedQueue::<u32>::new(1);
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert!(matches!(q.try_push(2), Err(PushError::Full(2))));
+    }
+}

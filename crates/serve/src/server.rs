@@ -1,0 +1,313 @@
+//! The worker pool: admission, deadlines, panic isolation, retry.
+//!
+//! [`Server`] owns a [`BoundedQueue`] of accepted jobs and a fixed set of
+//! worker threads. The failure model is explicit:
+//!
+//! * **Load shed** — a full queue turns the submission into an immediate
+//!   `busy` response ([`JobResult::Busy`]); the job never occupies memory
+//!   or a worker. `job.rejected` is emitted and `serve.job.busy` counted.
+//! * **Deadline** — each job runs under a [`CancelToken`] whose deadline
+//!   starts at *submission*. The pipeline polls the token at per-slice /
+//!   per-sample checkpoints, so an expired job returns a `timeout` result
+//!   with partial progress instead of hanging a worker.
+//! * **Panic isolation** — the runner is wrapped in `catch_unwind`; a
+//!   panicking job becomes a structured `error` response (`job.panic`
+//!   event, `serve.job.panic` counter) and the worker keeps serving.
+//! * **Retry** — results classified as transient input failures (file
+//!   open/read errors, which race with uploads in the paper's web
+//!   deployment) are retried with exponential backoff
+//!   (`retry_base_ms << attempt`), never past the deadline and at most
+//!   `max_retries` times.
+//! * **Graceful shutdown** — [`Server::shutdown`] closes the queue:
+//!   accepted jobs still run to completion and get responses; only new
+//!   submissions are refused.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+use zenesis_core::job::{run_job_with_cancel, JobResult, JobSpec};
+use zenesis_obs::events::{self, Event};
+use zenesis_par::CancelToken;
+
+use crate::proto::{parse_request, Response};
+use crate::queue::{BoundedQueue, PushError};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are shed as `busy`.
+    pub queue_cap: usize,
+    /// Deadline applied to jobs whose envelope sets none (`None` =
+    /// unlimited).
+    pub default_deadline_ms: Option<u64>,
+    /// Maximum retries for transient input failures.
+    pub max_retries: u32,
+    /// First retry backoff; doubles per attempt.
+    pub retry_base_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(2),
+            queue_cap: 64,
+            default_deadline_ms: None,
+            max_retries: 2,
+            retry_base_ms: 25,
+        }
+    }
+}
+
+/// The job execution function. Production uses
+/// [`run_job_with_cancel`]; tests inject runners that panic or fail
+/// transiently to exercise the isolation and retry paths.
+pub type JobRunner = Arc<dyn Fn(&JobSpec, &CancelToken) -> JobResult + Send + Sync>;
+
+struct QueuedJob {
+    id: u64,
+    spec: JobSpec,
+    deadline: Option<Instant>,
+    submitted: Instant,
+    reply: Sender<Response>,
+}
+
+/// The running service.
+pub struct Server {
+    queue: BoundedQueue<QueuedJob>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Start workers running the real job pipeline.
+    pub fn start(config: ServeConfig) -> Server {
+        Server::start_with_runner(config, Arc::new(run_job_with_cancel))
+    }
+
+    /// Start workers with an injected runner (test hook: panics, fake
+    /// transient failures, instrumented latencies).
+    pub fn start_with_runner(config: ServeConfig, runner: JobRunner) -> Server {
+        let queue = BoundedQueue::new(config.queue_cap);
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let queue = queue.clone();
+                let runner = Arc::clone(&runner);
+                let cfg = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&queue, &runner, &cfg))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server {
+            queue,
+            workers: Mutex::new(workers),
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Jobs currently queued (not yet picked up by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Submit one raw request line. Exactly one [`Response`] will be
+    /// sent on `reply` for it — immediately for parse errors and load
+    /// sheds, from a worker otherwise. Blank lines are the caller's to
+    /// skip.
+    pub fn submit_line(&self, line: &str, fallback_id: u64, reply: &Sender<Response>) {
+        let req = match parse_request(line, fallback_id) {
+            Ok(req) => req,
+            Err(message) => {
+                let _ = reply.send(Response {
+                    id: fallback_id,
+                    attempts: 0,
+                    queue_ms: 0.0,
+                    run_ms: 0.0,
+                    result: JobResult::Error { message },
+                });
+                return;
+            }
+        };
+        let now = Instant::now();
+        let deadline = req
+            .deadline_ms
+            .or(self.config.default_deadline_ms)
+            .map(|ms| now + Duration::from_millis(ms));
+        let job = QueuedJob {
+            id: req.id,
+            spec: req.spec,
+            deadline,
+            submitted: now,
+            reply: reply.clone(),
+        };
+        match self.queue.try_push(job) {
+            Ok(depth) => {
+                if zenesis_obs::enabled() {
+                    events::emit(Event::JobQueued {
+                        id: req.id,
+                        depth,
+                    });
+                    zenesis_obs::gauge("serve.queue_depth").set(depth as i64);
+                }
+            }
+            Err(PushError::Full(job) | PushError::Closed(job)) => {
+                let capacity = self.queue.capacity();
+                if zenesis_obs::enabled() {
+                    events::emit(Event::JobRejected {
+                        id: job.id,
+                        capacity,
+                    });
+                    zenesis_obs::counter("serve.job.busy").inc();
+                }
+                let _ = job.reply.send(Response {
+                    id: job.id,
+                    attempts: 0,
+                    queue_ms: 0.0,
+                    run_ms: 0.0,
+                    result: JobResult::Busy {
+                        message: format!("queue full ({capacity} jobs); resubmit later"),
+                        capacity,
+                    },
+                });
+            }
+        }
+    }
+
+    /// Graceful shutdown: stop admissions, let workers drain every
+    /// accepted job (each still gets its response), then join them.
+    pub fn shutdown(&self) {
+        self.queue.close();
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Stringify a panic payload the way `std` does for uncaught panics.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Transient-input classification: file open/read failures may race
+/// with an upload or a slow filesystem and deserve a retry; everything
+/// else (bad specs, mode mismatches) is deterministic and must not be.
+fn is_transient(result: &JobResult) -> bool {
+    matches!(
+        result,
+        JobResult::Error { message }
+            if message.contains("cannot open") || message.contains("cannot read")
+    )
+}
+
+fn worker_loop(queue: &BoundedQueue<QueuedJob>, runner: &JobRunner, cfg: &ServeConfig) {
+    while let Some(job) = queue.pop() {
+        let obs = zenesis_obs::enabled();
+        if obs {
+            zenesis_obs::gauge("serve.queue_depth").set(queue.len() as i64);
+        }
+        let queue_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
+        if obs {
+            zenesis_obs::record_ms("serve.queue_wait.lat", queue_ms);
+        }
+        let cancel = match job.deadline {
+            Some(at) => CancelToken::with_deadline_at(at),
+            None => CancelToken::new(),
+        };
+        let run_started = Instant::now();
+        let mut attempts = 0u32;
+        let result = loop {
+            attempts += 1;
+            match catch_unwind(AssertUnwindSafe(|| runner(&job.spec, &cancel))) {
+                Err(payload) => {
+                    let message = panic_message(payload.as_ref());
+                    if obs {
+                        events::emit(Event::JobPanic {
+                            id: job.id,
+                            message: message.clone(),
+                        });
+                        zenesis_obs::counter("serve.job.panic").inc();
+                    }
+                    break JobResult::Error {
+                        message: format!("job panicked: {message}"),
+                    };
+                }
+                Ok(result) => {
+                    if attempts <= cfg.max_retries
+                        && is_transient(&result)
+                        && !cancel.is_cancelled()
+                    {
+                        let delay_ms = cfg.retry_base_ms << (attempts - 1);
+                        if obs {
+                            events::emit(Event::JobRetry {
+                                id: job.id,
+                                attempt: attempts,
+                                delay_ms,
+                            });
+                            zenesis_obs::counter("serve.job.retry").inc();
+                        }
+                        let mut delay = Duration::from_millis(delay_ms);
+                        if let Some(left) = cancel.remaining() {
+                            delay = delay.min(left);
+                        }
+                        std::thread::sleep(delay);
+                        continue;
+                    }
+                    break result;
+                }
+            }
+        };
+        let run_ms = run_started.elapsed().as_secs_f64() * 1e3;
+        if obs {
+            zenesis_obs::record_ms("serve.job.lat", run_ms);
+            match &result {
+                JobResult::Timeout { .. } => {
+                    events::emit(Event::JobTimeout {
+                        id: job.id,
+                        dur_ms: queue_ms + run_ms,
+                    });
+                    zenesis_obs::counter("serve.job.timeout").inc();
+                }
+                JobResult::Error { .. } => {
+                    zenesis_obs::counter("serve.job.error").inc();
+                }
+                _ => {
+                    zenesis_obs::counter("serve.job.ok").inc();
+                }
+            }
+        }
+        let _ = job.reply.send(Response {
+            id: job.id,
+            attempts,
+            queue_ms,
+            run_ms,
+            result,
+        });
+    }
+}

@@ -1,0 +1,348 @@
+//! End-to-end tests of the serving layer's failure model: deadlines,
+//! load shedding, panic isolation, retry, and graceful drain.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver};
+use zenesis_core::job::{JobResult, JobSpec};
+use zenesis_serve::{JobRunner, Response, ServeConfig, Server};
+
+/// A valid interactive spec line whose prompt the injected runners use
+/// as the behavior selector.
+fn spec_line(prompt: &str) -> String {
+    format!(
+        r#"{{"mode": "interactive",
+            "input": {{"source": "phantom_slice", "kind": "amorphous", "seed": 1, "side": 16}},
+            "prompt": "{prompt}"}}"#
+    )
+    .replace('\n', " ")
+}
+
+fn ok_result() -> JobResult {
+    JobResult::Volume {
+        depth: 1,
+        corrections: 0,
+        per_slice_pixels: vec![1],
+    }
+}
+
+fn prompt_of(spec: &JobSpec) -> &str {
+    match spec {
+        JobSpec::Interactive { prompt, .. } | JobSpec::Batch { prompt, .. } => prompt,
+        JobSpec::Evaluate { .. } => "",
+    }
+}
+
+/// `recv` with a test-failure timeout (the vendored channel is
+/// timeout-free; polling keeps a broken server from hanging the suite).
+fn recv_within(rx: &Receiver<Response>, timeout: Duration) -> Response {
+    let t0 = Instant::now();
+    loop {
+        if let Some(resp) = rx.try_recv() {
+            return resp;
+        }
+        assert!(t0.elapsed() < timeout, "no response within {timeout:?}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn config(workers: usize, queue_cap: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        queue_cap,
+        default_deadline_ms: None,
+        max_retries: 2,
+        retry_base_ms: 1,
+    }
+}
+
+#[test]
+fn panicking_job_is_isolated_and_workers_survive() {
+    let runner: JobRunner = Arc::new(|spec, _cancel| {
+        if prompt_of(spec) == "boom" {
+            panic!("synthetic job panic");
+        }
+        ok_result()
+    });
+    let server = Server::start_with_runner(config(2, 32), runner);
+    let (tx, rx) = unbounded::<Response>();
+    // Interleave panicking and healthy jobs; every healthy job must
+    // still complete — the pool survives each panic.
+    for i in 0..12u64 {
+        let prompt = if i % 3 == 0 { "boom" } else { "fine" };
+        server.submit_line(&spec_line(prompt), i + 1, &tx);
+    }
+    server.shutdown();
+    let mut ok = 0;
+    let mut panicked = 0;
+    for _ in 0..12 {
+        let resp = rx.recv().expect("every job answers");
+        match resp.status() {
+            "ok" => ok += 1,
+            "error" => {
+                match &resp.result {
+                    JobResult::Error { message } => {
+                        assert!(message.contains("job panicked"), "{message}");
+                        assert!(message.contains("synthetic job panic"), "{message}");
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+                panicked += 1;
+            }
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert_eq!(ok, 8);
+    assert_eq!(panicked, 4);
+}
+
+#[test]
+fn full_queue_sheds_busy_responses() {
+    let gate = Arc::new(AtomicBool::new(false));
+    let started = Arc::new(AtomicU32::new(0));
+    let runner: JobRunner = {
+        let gate = Arc::clone(&gate);
+        let started = Arc::clone(&started);
+        Arc::new(move |_spec, _cancel| {
+            started.fetch_add(1, Ordering::SeqCst);
+            while !gate.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            ok_result()
+        })
+    };
+    let server = Server::start_with_runner(config(1, 2), runner);
+    let (tx, rx) = unbounded::<Response>();
+    // First job occupies the single worker…
+    server.submit_line(&spec_line("blockhead"), 1, &tx);
+    let t0 = Instant::now();
+    while started.load(Ordering::SeqCst) == 0 {
+        assert!(t0.elapsed() < Duration::from_secs(10), "worker never started");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // …the next two fill the bounded queue…
+    server.submit_line(&spec_line("queued-a"), 2, &tx);
+    server.submit_line(&spec_line("queued-b"), 3, &tx);
+    // …and further submissions are shed immediately as `busy`.
+    server.submit_line(&spec_line("shed-a"), 4, &tx);
+    server.submit_line(&spec_line("shed-b"), 5, &tx);
+    for _ in 0..2 {
+        let resp = recv_within(&rx, Duration::from_secs(5));
+        assert_eq!(resp.status(), "busy");
+        assert!(resp.id == 4 || resp.id == 5, "shed ids answer first");
+        assert_eq!(resp.attempts, 0, "shed jobs never reach a worker");
+        match &resp.result {
+            JobResult::Busy { capacity, message } => {
+                assert_eq!(*capacity, 2);
+                assert!(message.contains("queue full"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    gate.store(true, Ordering::SeqCst);
+    server.shutdown();
+    let mut ok_ids: Vec<u64> = (0..3)
+        .map(|_| {
+            let resp = rx.recv().expect("accepted jobs drain");
+            assert_eq!(resp.status(), "ok");
+            resp.id
+        })
+        .collect();
+    ok_ids.sort_unstable();
+    assert_eq!(ok_ids, vec![1, 2, 3]);
+}
+
+#[test]
+fn shutdown_drains_every_accepted_job() {
+    let runner: JobRunner = Arc::new(|_spec, _cancel| {
+        std::thread::sleep(Duration::from_millis(5));
+        ok_result()
+    });
+    let server = Server::start_with_runner(config(2, 16), runner);
+    let (tx, rx) = unbounded::<Response>();
+    for i in 0..10u64 {
+        server.submit_line(&spec_line("drain"), i + 1, &tx);
+    }
+    // Shutdown closes admissions but runs everything already accepted.
+    server.shutdown();
+    drop(tx);
+    let answered: Vec<Response> = std::iter::from_fn(|| rx.try_recv()).collect();
+    assert_eq!(answered.len(), 10);
+    assert!(answered.iter().all(|r| r.status() == "ok"));
+}
+
+#[test]
+fn deadline_counts_queue_wait_and_returns_timeout() {
+    // Cooperative mid-run expiry: the runner polls its token between
+    // simulated slices and reports partial progress.
+    let runner: JobRunner = Arc::new(|_spec, cancel| {
+        let total = 1000;
+        for completed in 0..total {
+            if cancel.is_cancelled() {
+                return JobResult::Timeout {
+                    message: "job deadline exceeded".into(),
+                    completed,
+                    total,
+                };
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        ok_result()
+    });
+    let server = Server::start_with_runner(config(1, 4), runner);
+    let (tx, rx) = unbounded::<Response>();
+    let line = format!(
+        r#"{{"id": 77, "deadline_ms": 30, "spec": {}}}"#,
+        spec_line("slow")
+    );
+    server.submit_line(&line, 1, &tx);
+    let resp = recv_within(&rx, Duration::from_secs(30));
+    server.shutdown();
+    assert_eq!(resp.id, 77);
+    assert_eq!(resp.status(), "timeout");
+    match &resp.result {
+        JobResult::Timeout {
+            completed, total, ..
+        } => {
+            assert_eq!(*total, 1000);
+            assert!(*completed < 1000, "the deadline fired mid-run");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn expired_deadline_times_out_through_the_real_pipeline() {
+    // No injected runner: a real batch job whose deadline is already
+    // gone when the worker picks it up returns `timeout`, not a hang.
+    let server = Server::start(config(1, 4));
+    let (tx, rx) = unbounded::<Response>();
+    let line = r#"{"id": 5, "deadline_ms": 0, "spec": {"mode": "batch",
+        "input": {"source": "phantom_volume", "kind": "amorphous", "seed": 2,
+                  "depth": 8, "side": 64},
+        "prompt": "catalyst particles"}}"#
+        .replace('\n', " ");
+    server.submit_line(&line, 1, &tx);
+    let resp = recv_within(&rx, Duration::from_secs(60));
+    server.shutdown();
+    assert_eq!(resp.status(), "timeout");
+}
+
+#[test]
+fn transient_errors_retry_then_succeed() {
+    let calls = Arc::new(AtomicU32::new(0));
+    let runner: JobRunner = {
+        let calls = Arc::clone(&calls);
+        Arc::new(move |_spec, _cancel| {
+            if calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                JobResult::Error {
+                    message: "cannot open \"/data/upload.tif\": racing with upload".into(),
+                }
+            } else {
+                ok_result()
+            }
+        })
+    };
+    let server = Server::start_with_runner(config(1, 4), runner);
+    let (tx, rx) = unbounded::<Response>();
+    server.submit_line(&spec_line("flaky"), 1, &tx);
+    let resp = recv_within(&rx, Duration::from_secs(10));
+    server.shutdown();
+    assert_eq!(resp.status(), "ok");
+    assert_eq!(resp.attempts, 3, "two transient failures, then success");
+    assert_eq!(calls.load(Ordering::SeqCst), 3);
+}
+
+#[test]
+fn deterministic_errors_are_not_retried() {
+    let calls = Arc::new(AtomicU32::new(0));
+    let runner: JobRunner = {
+        let calls = Arc::clone(&calls);
+        Arc::new(move |_spec, _cancel| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            JobResult::Error {
+                message: "invalid job spec: prompt must be non-empty".into(),
+            }
+        })
+    };
+    let server = Server::start_with_runner(config(1, 4), runner);
+    let (tx, rx) = unbounded::<Response>();
+    server.submit_line(&spec_line("doomed"), 1, &tx);
+    let resp = recv_within(&rx, Duration::from_secs(10));
+    server.shutdown();
+    assert_eq!(resp.status(), "error");
+    assert_eq!(resp.attempts, 1);
+    assert_eq!(calls.load(Ordering::SeqCst), 1, "deterministic errors run once");
+}
+
+#[test]
+fn parse_errors_answer_without_touching_the_queue() {
+    let runner: JobRunner = Arc::new(|_spec, _cancel| ok_result());
+    let server = Server::start_with_runner(config(1, 4), runner);
+    let (tx, rx) = unbounded::<Response>();
+    server.submit_line("{not json", 3, &tx);
+    let resp = recv_within(&rx, Duration::from_secs(5));
+    assert_eq!(resp.id, 3);
+    assert_eq!(resp.status(), "error");
+    assert_eq!(resp.attempts, 0);
+    assert_eq!(server.queue_depth(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn queue_and_shed_emit_job_events() {
+    zenesis_obs::set_level(zenesis_obs::ObsLevel::Spans);
+    let gate = Arc::new(AtomicBool::new(false));
+    let started = Arc::new(AtomicU32::new(0));
+    let runner: JobRunner = {
+        let gate = Arc::clone(&gate);
+        let started = Arc::clone(&started);
+        Arc::new(move |_spec, _cancel| {
+            started.fetch_add(1, Ordering::SeqCst);
+            while !gate.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            ok_result()
+        })
+    };
+    let server = Server::start_with_runner(config(1, 1), runner);
+    let (tx, rx) = unbounded::<Response>();
+    // Envelope ids in a range no other test uses, so concurrent tests in
+    // this binary (events are process-global) cannot collide.
+    let enveloped = |id: u64| format!(r#"{{"id": {id}, "spec": {}}}"#, spec_line("evt"));
+    server.submit_line(&enveloped(9001), 1, &tx);
+    let t0 = Instant::now();
+    while started.load(Ordering::SeqCst) == 0 {
+        assert!(t0.elapsed() < Duration::from_secs(10), "worker never started");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    server.submit_line(&enveloped(9002), 2, &tx); // fills the 1-slot queue
+    server.submit_line(&enveloped(9003), 3, &tx); // shed
+    gate.store(true, Ordering::SeqCst);
+    server.shutdown();
+    let mut statuses: Vec<(u64, String)> = (0..3)
+        .map(|_| {
+            let r = rx.recv().expect("reply");
+            (r.id, r.status().to_string())
+        })
+        .collect();
+    statuses.sort();
+    assert_eq!(
+        statuses,
+        vec![
+            (9001, "ok".to_string()),
+            (9002, "ok".to_string()),
+            (9003, "busy".to_string())
+        ]
+    );
+    use zenesis_obs::events::Event;
+    let snap = zenesis_obs::events::events_snapshot();
+    assert!(snap
+        .iter()
+        .any(|r| matches!(r.event, Event::JobQueued { id: 9001, .. })));
+    assert!(snap
+        .iter()
+        .any(|r| matches!(r.event, Event::JobRejected { id: 9003, capacity: 1 })));
+}

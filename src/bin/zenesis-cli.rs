@@ -37,11 +37,20 @@
 //!   `slice.done`, `temporal.replace`, ...) as JSONL.
 //! - `--ledger-out <path>` writes a schema-v1 run ledger comparable with
 //!   `zenesis-obs-diff`; `--label <name>` names the run inside it.
+//!
+//! `--deadline-ms <ms>` bounds the job's wall clock: batch and evaluate
+//! jobs poll the deadline cooperatively (per slice / per sample) and
+//! return a `timeout` result carrying partial-progress counts instead of
+//! running past it. For serving many jobs under deadlines concurrently,
+//! see `zenesis-serve` (`docs/SERVING.md`).
 
 use std::io::Read;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use zenesis::core::job::{run_job, run_job_json, InputSpec, JobSpec, PhantomKind};
+use zenesis::core::job::{
+    run_job_json_with_cancel, run_job_with_cancel, InputSpec, JobSpec, PhantomKind,
+};
+use zenesis::par::CancelToken;
 
 fn examples() -> Vec<(&'static str, JobSpec)> {
     vec![
@@ -172,6 +181,19 @@ fn main() {
         label: take_flag_value(&mut args, "--label").unwrap_or_else(|| "cli".into()),
         started: Instant::now(),
     };
+    // --deadline-ms: run the job under a deadline token; batch/evaluate
+    // jobs stop at their next per-slice / per-sample checkpoint and
+    // report a structured `timeout` result with partial progress.
+    let cancel = match take_flag_value(&mut args, "--deadline-ms") {
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+            Err(_) => {
+                eprintln!("--deadline-ms expects a number of milliseconds, got {raw:?}");
+                std::process::exit(2);
+            }
+        },
+        None => CancelToken::new(),
+    };
     if !matches!(sinks.trace_format.as_str(), "json" | "chrome") {
         eprintln!(
             "unknown --trace-format {:?} (expected json|chrome)",
@@ -212,7 +234,8 @@ fn main() {
         };
         println!(
             "{}",
-            serde_json::to_string_pretty(&run_job(&spec)).expect("results serialize")
+            serde_json::to_string_pretty(&run_job_with_cancel(&spec, &cancel))
+                .expect("results serialize")
         );
         sinks.write(&serde_json::to_string(&spec).expect("specs serialize"));
         return;
@@ -236,6 +259,6 @@ fn main() {
             buf
         }
     };
-    println!("{}", run_job_json(&json));
+    println!("{}", run_job_json_with_cancel(&json, &cancel));
     sinks.write(&json);
 }

@@ -22,6 +22,7 @@
 //! | [`metrics`] | `zenesis-metrics` | evaluation framework |
 //! | [`data`] | `zenesis-data` | FIB-SEM phantom generator |
 //! | [`core`] | `zenesis-core` | the platform pipeline |
+//! | [`serve`] | `zenesis-serve` | panic-safe concurrent job service |
 //!
 //! ## Quickstart
 //!
@@ -51,4 +52,5 @@ pub use zenesis_nn as nn;
 pub use zenesis_obs as obs;
 pub use zenesis_par as par;
 pub use zenesis_sam as sam;
+pub use zenesis_serve as serve;
 pub use zenesis_tensor as tensor;
