@@ -8,7 +8,7 @@ use zenesis_adapt::{AdaptPipeline, AdaptStage};
 use zenesis_data::{generate_slice, PhantomConfig, SampleKind};
 use zenesis_ground::FeatureGrid;
 use zenesis_image::Image;
-use zenesis_nn::{attention, SwinStage, VitEncoder};
+use zenesis_nn::{attention, attention_weights, SwinStage, VitEncoder};
 use zenesis_sam::{ImageEmbedding, PromptSet, Sam, SamConfig};
 use zenesis_tensor::Matrix;
 
@@ -58,6 +58,49 @@ fn bench_transformer(c: &mut Criterion) {
     group.finish();
 }
 
+/// Size sweep over the blocked matmul and the fused-vs-unfused attention
+/// kernels — the scaling evidence behind `docs/PERFORMANCE.md` and the
+/// `kernel-bench-smoke` CI gate.
+fn bench_kernel_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_sweep");
+    group.sample_size(15);
+    for n in [64usize, 128, 256, 512] {
+        let a = Matrix::seeded_uniform(n, n, 1.0, 21);
+        let bt = Matrix::seeded_uniform(n, n, 1.0, 22);
+        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |b, _| {
+            b.iter(|| a.matmul(&bt))
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_transposed", n), &n, |b, _| {
+            b.iter(|| a.matmul_transposed(&bt))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("attention_fusion");
+    group.sample_size(20);
+    for (n_q, n_kv, d) in [
+        (3usize, 256usize, 32usize), // grounding query vs patch tokens
+        (64, 256, 32),
+        (256, 256, 16), // one ViT head at 128px
+        (128, 256, 32),
+        (256, 256, 64),
+    ] {
+        let q = Matrix::seeded_uniform(n_q, d, 1.0, 31);
+        let k = Matrix::seeded_uniform(n_kv, d, 1.0, 32);
+        let v = Matrix::seeded_uniform(n_kv, d, 1.0, 33);
+        let label = format!("{n_q}x{n_kv}x{d}");
+        group.bench_with_input(BenchmarkId::new("fused", &label), &d, |b, _| {
+            b.iter(|| attention(&q, &k, &v))
+        });
+        // Unfused reference: materialize the full softmax(QKᵀ/√d) score
+        // matrix, then a second pass multiplies by V.
+        group.bench_with_input(BenchmarkId::new("unfused", &label), &d, |b, _| {
+            b.iter(|| attention_weights(&q, &k).matmul(&v))
+        });
+    }
+    group.finish();
+}
+
 fn bench_ground_and_sam(c: &mut Criterion) {
     let g = generate_slice(&PhantomConfig::new(SampleKind::Crystalline, 9));
     let adapted = AdaptPipeline::recommended().run(&g.raw.to_f32());
@@ -77,5 +120,11 @@ fn bench_ground_and_sam(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_adapt, bench_transformer, bench_ground_and_sam);
+criterion_group!(
+    benches,
+    bench_adapt,
+    bench_transformer,
+    bench_kernel_sweep,
+    bench_ground_and_sam
+);
 criterion_main!(benches);

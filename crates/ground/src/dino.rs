@@ -158,10 +158,8 @@ impl GroundingDino {
         if let Some(bb) = &self.backbone {
             let ctx = bb.forward(&k, gw, gh);
             // Residual blend keeps the lexicon-aligned geometry dominant.
-            let blended = Matrix::from_fn(k.rows(), k.cols(), |r, c| {
-                0.85 * k.get(r, c) + 0.15 * ctx.get(r, c)
-            });
-            k = blended;
+            k.scale(0.85);
+            k.add_scaled(&ctx, 0.15);
         }
         // Input-health factor: a pretrained encoder's confidence collapses
         // on inputs far outside its operating exposure (raw 16-bit counts

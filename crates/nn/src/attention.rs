@@ -1,18 +1,388 @@
 //! Scaled dot-product attention (the paper's Eq. 1), multi-head attention,
 //! and the pre-norm transformer block.
+//!
+//! The attention forward is **fused**: [`attention_into`] walks the query
+//! rows one at a time, computing that row's scores, softmax, and
+//! weighted-value accumulation back to back — the full `n_q x n_kv`
+//! score matrix is never materialized (only one `n_kv`-length scratch
+//! row lives at a time, checked out of a [`Workspace`]). Heads are
+//! sliced as zero-copy column-band views and written straight into the
+//! concatenation buffer, so [`MultiHeadAttention::forward`] performs no
+//! per-head copies of Q/K/V and no re-concatenation pass.
 
-use zenesis_tensor::{gelu_inplace, layernorm_rows, softmax_rows, Matrix};
+use zenesis_tensor::{
+    fast_exp, gelu_inplace, layernorm_rows_into, softmax_row, softmax_rows, MatView, MatViewMut,
+    Matrix, Workspace,
+};
 
 /// `softmax(Q K^T / sqrt(d)) V` — Eq. (1) of the paper.
 ///
 /// `q`: `n_q x d`, `k`: `n_kv x d`, `v`: `n_kv x d_v`. Returns `n_q x d_v`.
 pub fn attention(q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
+    Workspace::with(|ws| {
+        let mut out = ws.matrix(q.rows(), v.cols());
+        attention_into(&q.view(), &k.view(), &v.view(), &mut out.view_mut(), ws);
+        out
+    })
+}
+
+/// Dot product with four independent accumulator lanes, so the reduction
+/// vectorizes / pipelines instead of serializing on one add chain.
+#[inline]
+fn dot4(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let ac = a.chunks_exact(4);
+    let bc = b.chunks_exact(4);
+    let (ra, rb) = (ac.remainder(), bc.remainder());
+    for (pa, pb) in ac.zip(bc) {
+        for l in 0..4 {
+            acc[l] += pa[l] * pb[l];
+        }
+    }
+    for (x, y) in ra.iter().zip(rb) {
+        acc[0] += x * y;
+    }
+    (acc[0] + acc[2]) + (acc[1] + acc[3])
+}
+
+/// One query row's scaled scores against every key row, tracking the
+/// running max. Dispatches on the (runtime) feature dimension: for the
+/// head widths the pipeline actually uses, a const-generic body lets
+/// LLVM fully unroll and vectorize the dot products — a runtime trip
+/// count leaves the reduction on a single serial accumulator chain,
+/// which measures ~8x slower on this kernel.
+#[inline]
+fn score_row(q_row: &[f32], k: &MatView, scale: f32, scores: &mut [f32]) -> f32 {
+    match q_row.len() {
+        8 => score_row_d::<8, 4>(q_row, k, scale, scores),
+        16 => score_row_d::<16, 4>(q_row, k, scale, scores),
+        32 => score_row_d::<32, 4>(q_row, k, scale, scores),
+        64 => score_row_d::<64, 4>(q_row, k, scale, scores),
+        128 => score_row_d::<128, 4>(q_row, k, scale, scores),
+        _ => score_row_any(q_row, k, scale, scores),
+    }
+}
+
+/// [`score_row`] monomorphized on the feature dimension `D`: `ROWS` key
+/// rows per outer step, each dot fully unrolled over `D` with four
+/// accumulator lanes. Walking several key rows concurrently keeps
+/// multiple cache-line streams in flight, which hides K's load latency —
+/// worth far more than the accumulator spills it costs.
+fn score_row_d<const D: usize, const ROWS: usize>(
+    q_row: &[f32],
+    k: &MatView,
+    scale: f32,
+    scores: &mut [f32],
+) -> f32 {
+    let n_kv = k.rows();
+    let q_row = &q_row[..D];
+    let mut max = f32::NEG_INFINITY;
+    let mut j = 0;
+    while j + ROWS <= n_kv {
+        let mut acc = [[0.0f32; 4]; ROWS];
+        for (jr, a) in acc.iter_mut().enumerate() {
+            let kr = &k.row(j + jr)[..D];
+            for (pq, pk) in q_row.chunks_exact(4).zip(kr.chunks_exact(4)) {
+                for l in 0..4 {
+                    a[l] += pq[l] * pk[l];
+                }
+            }
+        }
+        for (jr, a) in acc.iter().enumerate() {
+            let s = ((a[0] + a[2]) + (a[1] + a[3])) * scale;
+            scores[j + jr] = s;
+            max = max.max(s);
+        }
+        j += ROWS;
+    }
+    while j < n_kv {
+        let s = dot4(q_row, &k.row(j)[..D]) * scale;
+        scores[j] = s;
+        max = max.max(s);
+        j += 1;
+    }
+    max
+}
+
+/// Scaled scores for a *pair* of query rows against every key row, each
+/// key row loaded once and contracted against both queries — this halves
+/// the K traffic of the score pass, which is what bounds it.
+#[inline]
+fn score_row2(
+    q0: &[f32],
+    q1: &[f32],
+    k: &MatView,
+    scale: f32,
+    s0: &mut [f32],
+    s1: &mut [f32],
+) -> (f32, f32) {
+    match q0.len() {
+        8 => score_row2_d::<8>(q0, q1, k, scale, s0, s1),
+        16 => score_row2_d::<16>(q0, q1, k, scale, s0, s1),
+        32 => score_row2_d::<32>(q0, q1, k, scale, s0, s1),
+        64 => score_row2_d::<64>(q0, q1, k, scale, s0, s1),
+        128 => score_row2_d::<128>(q0, q1, k, scale, s0, s1),
+        _ => (
+            score_row_any(q0, k, scale, s0),
+            score_row_any(q1, k, scale, s1),
+        ),
+    }
+}
+
+/// [`score_row2`] monomorphized on the feature dimension: four key rows
+/// per outer step, each with a 4-lane accumulator per query row (eight
+/// vector accumulators total).
+fn score_row2_d<const D: usize>(
+    q0: &[f32],
+    q1: &[f32],
+    k: &MatView,
+    scale: f32,
+    s0: &mut [f32],
+    s1: &mut [f32],
+) -> (f32, f32) {
+    let n_kv = k.rows();
+    let q0 = &q0[..D];
+    let q1 = &q1[..D];
+    let mut max0 = f32::NEG_INFINITY;
+    let mut max1 = f32::NEG_INFINITY;
+    let mut j = 0;
+    while j + 4 <= n_kv {
+        let mut acc0 = [[0.0f32; 4]; 4];
+        let mut acc1 = [[0.0f32; 4]; 4];
+        for jr in 0..4 {
+            let kr = &k.row(j + jr)[..D];
+            let (a0, a1) = (&mut acc0[jr], &mut acc1[jr]);
+            for ((pq0, pq1), pk) in q0
+                .chunks_exact(4)
+                .zip(q1.chunks_exact(4))
+                .zip(kr.chunks_exact(4))
+            {
+                for l in 0..4 {
+                    a0[l] += pq0[l] * pk[l];
+                    a1[l] += pq1[l] * pk[l];
+                }
+            }
+        }
+        for jr in 0..4 {
+            let (a0, a1) = (&acc0[jr], &acc1[jr]);
+            let v0 = ((a0[0] + a0[2]) + (a0[1] + a0[3])) * scale;
+            let v1 = ((a1[0] + a1[2]) + (a1[1] + a1[3])) * scale;
+            s0[j + jr] = v0;
+            s1[j + jr] = v1;
+            max0 = max0.max(v0);
+            max1 = max1.max(v1);
+        }
+        j += 4;
+    }
+    while j < n_kv {
+        let kr = &k.row(j)[..D];
+        let v0 = dot4(q0, kr) * scale;
+        let v1 = dot4(q1, kr) * scale;
+        s0[j] = v0;
+        s1[j] = v1;
+        max0 = max0.max(v0);
+        max1 = max1.max(v1);
+        j += 1;
+    }
+    (max0, max1)
+}
+
+/// [`score_row`] for arbitrary feature dimensions: 16-wide chunks give
+/// four independent 4-lane accumulator chains even though the trip count
+/// is only known at runtime.
+fn score_row_any(q_row: &[f32], k: &MatView, scale: f32, scores: &mut [f32]) -> f32 {
+    debug_assert_eq!(scores.len(), k.rows());
+    let mut max = f32::NEG_INFINITY;
+    for (j, sj) in scores.iter_mut().enumerate() {
+        let kr = k.row(j);
+        let mut acc = [0.0f32; 16];
+        let qc = q_row.chunks_exact(16);
+        let kc = kr.chunks_exact(16);
+        let (rq, rk) = (qc.remainder(), kc.remainder());
+        for (pq, pk) in qc.zip(kc) {
+            for l in 0..16 {
+                acc[l] += pq[l] * pk[l];
+            }
+        }
+        for (l, (x, y)) in rq.iter().zip(rk).enumerate() {
+            acc[l & 3] += x * y;
+        }
+        let mut lanes = [0.0f32; 4];
+        for l in 0..4 {
+            lanes[l] = (acc[l] + acc[l + 8]) + (acc[l + 4] + acc[l + 12]);
+        }
+        let s = ((lanes[0] + lanes[2]) + (lanes[1] + lanes[3])) * scale;
+        *sj = s;
+        max = max.max(s);
+    }
+    max
+}
+
+/// Fused `softmax(Q Kᵀ / sqrt(d)) V` over strided views, row-band by
+/// row-band: for each query row, scores are computed into a reused
+/// scratch row, normalized in place, and immediately contracted against
+/// V — the score matrix never exists as a whole. `out` must be
+/// `n_q x d_v` (any row stride, e.g. a column band of a concat buffer).
+///
+/// Very large self-attention shapes (many query rows against a K+V
+/// working set that overflows the close caches) are instead routed
+/// through the packed matmul kernels with a materialized score matrix —
+/// see `UNFUSED_MIN_KV_FLOATS` for the measured crossover.
+pub fn attention_into(
+    q: &MatView,
+    k: &MatView,
+    v: &MatView,
+    out: &mut MatViewMut,
+    ws: &mut Workspace,
+) {
     assert_eq!(q.cols(), k.cols(), "q/k feature dims differ");
     assert_eq!(k.rows(), v.rows(), "k/v token counts differ");
-    let mut scores = q.matmul_transposed(k);
-    scores.scale(1.0 / (q.cols() as f32).sqrt());
-    let weights = softmax_rows(&scores);
-    weights.matmul(v)
+    assert_eq!(
+        (out.rows(), out.cols()),
+        (q.rows(), v.cols()),
+        "attention output shape mismatch"
+    );
+    let n_kv = k.rows();
+    let scale = 1.0 / (q.cols() as f32).sqrt();
+    if q.rows() >= UNFUSED_MIN_ROWS && n_kv * (q.cols() + v.cols()) >= UNFUSED_MIN_KV_FLOATS {
+        attention_unfused(q, k, v, out, ws);
+        return;
+    }
+    // Query rows go two at a time: the score pass loads each key row
+    // once and contracts it against both query rows, halving K traffic.
+    let mut scores = ws.take(2 * n_kv);
+    let (s0, s1) = scores.split_at_mut(n_kv);
+    let mut r = 0;
+    while r + 2 <= q.rows() {
+        let (max0, max1) = score_row2(q.row(r), q.row(r + 1), k, scale, s0, s1);
+        finish_row(s0, max0, v, out.row_mut(r));
+        finish_row(s1, max1, v, out.row_mut(r + 1));
+        r += 2;
+    }
+    if r < q.rows() {
+        let max = score_row(q.row(r), k, scale, s0);
+        finish_row(s0, max, v, out.row_mut(r));
+    }
+    ws.recycle_vec(scores);
+}
+
+/// Minimum query rows before the unfused (materialized-scores) path can
+/// pay for its packing: below this, the fused row-band kernel always wins.
+const UNFUSED_MIN_ROWS: usize = 32;
+
+/// Combined K+V resident size (`n_kv * (d + d_v)` floats) above which a
+/// large-`n_q` attention goes matmul-bound: the fused kernel re-streams
+/// all of V once per query row, so once K+V overflow the close caches the
+/// packed matmul kernels win despite materializing the score matrix.
+/// Measured crossover on the bench sweep sits between 16k floats (fused
+/// wins 128×256 at d=d_v=32) and 32k floats (unfused wins 256×256 at
+/// d=d_v=64 by ~1.5×); the pipeline's own head shapes stay fused.
+const UNFUSED_MIN_KV_FLOATS: usize = 24 * 1024;
+
+/// Materialize a (possibly strided) view into a workspace matrix.
+fn view_to_matrix_ws(v: &MatView, ws: &mut Workspace) -> Matrix {
+    let mut m = ws.matrix(v.rows(), v.cols());
+    for r in 0..v.rows() {
+        m.row_mut(r).copy_from_slice(v.row(r));
+    }
+    m
+}
+
+/// Unfused large-shape path: scores = Q·Kᵀ/√d through the packed matmul,
+/// softmax rows in place, then a second packed product against V. The
+/// row-wise copies in and out are O(n·d) against O(n²·d) compute.
+fn attention_unfused(
+    q: &MatView,
+    k: &MatView,
+    v: &MatView,
+    out: &mut MatViewMut,
+    ws: &mut Workspace,
+) {
+    let scale = 1.0 / (q.cols() as f32).sqrt();
+    let qm = view_to_matrix_ws(q, ws);
+    let km = view_to_matrix_ws(k, ws);
+    let mut scores = qm.matmul_transposed_ws(&km, ws);
+    ws.recycle(qm);
+    ws.recycle(km);
+    scores.scale(scale);
+    for r in 0..scores.rows() {
+        softmax_row(scores.row_mut(r));
+    }
+    let vm = view_to_matrix_ws(v, ws);
+    let om = scores.matmul_ws(&vm, ws);
+    ws.recycle(scores);
+    ws.recycle(vm);
+    for r in 0..om.rows() {
+        out.row_mut(r).copy_from_slice(om.row(r));
+    }
+    ws.recycle(om);
+}
+
+/// Softmax + value contraction for one query row whose scaled scores
+/// (and their max) are already computed.
+#[inline]
+fn finish_row(scores: &mut [f32], max: f32, v: &MatView, orow: &mut [f32]) {
+    let d_v = v.cols();
+    // Unnormalized stable exponentials, then an eight-lane sum (so the
+    // reduction doesn't serialize); the 1/sum normalizer is applied once
+    // to the output row instead of to every weight.
+    for s in scores.iter_mut() {
+        *s = fast_exp(*s - max);
+    }
+    let mut sm = [0.0f32; 8];
+    let ch = scores.chunks_exact(8);
+    let mut sum: f32 = ch.remainder().iter().sum();
+    for c in ch {
+        for l in 0..8 {
+            sm[l] += c[l];
+        }
+    }
+    sum += (sm[0] + sm[4]) + (sm[1] + sm[5]) + ((sm[2] + sm[6]) + (sm[3] + sm[7]));
+    let inv = 1.0 / sum;
+    // Contract against V in fixed-width output chunks: each chunk of
+    // the output row lives in registers across the whole sweep over
+    // the value rows, so the only memory traffic is the V loads.
+    let mut c0 = 0;
+    while c0 + 32 <= d_v {
+        let mut acc = [0.0f32; 32];
+        for (j, &w) in scores.iter().enumerate() {
+            let vc = &v.row(j)[c0..c0 + 32];
+            for l in 0..32 {
+                acc[l] += w * vc[l];
+            }
+        }
+        for (o, a) in orow[c0..c0 + 32].iter_mut().zip(acc) {
+            *o = a * inv;
+        }
+        c0 += 32;
+    }
+    if c0 + 16 <= d_v {
+        let mut acc = [0.0f32; 16];
+        for (j, &w) in scores.iter().enumerate() {
+            let vc = &v.row(j)[c0..c0 + 16];
+            for l in 0..16 {
+                acc[l] += w * vc[l];
+            }
+        }
+        for (o, a) in orow[c0..c0 + 16].iter_mut().zip(acc) {
+            *o = a * inv;
+        }
+        c0 += 16;
+    }
+    if c0 < d_v {
+        let rem = d_v - c0;
+        let mut acc = [0.0f32; 16];
+        for (j, &w) in scores.iter().enumerate() {
+            let vc = &v.row(j)[c0..];
+            for (a, &vv) in acc[..rem].iter_mut().zip(vc) {
+                *a += w * vv;
+            }
+        }
+        for (o, a) in orow[c0..].iter_mut().zip(acc) {
+            *o = a * inv;
+        }
+    }
 }
 
 /// Raw attention weights `softmax(Q K^T / sqrt(d))` — the relevance map
@@ -52,26 +422,73 @@ impl MultiHeadAttention {
 
     /// Cross- (or self-) attention: `x_q` attends to `x_kv`.
     pub fn forward(&self, x_q: &Matrix, x_kv: &Matrix) -> Matrix {
+        Workspace::with(|ws| self.forward_ws(x_q, x_kv, ws))
+    }
+
+    /// [`MultiHeadAttention::forward`] with a caller-supplied scratch
+    /// arena. Heads are zero-copy column-band views of the projected
+    /// Q/K/V; each head's fused attention writes directly into its band
+    /// of the concat buffer (no per-head gather, no re-concatenation).
+    pub fn forward_ws(&self, x_q: &Matrix, x_kv: &Matrix, ws: &mut Workspace) -> Matrix {
         assert_eq!(x_q.cols(), self.dim);
         assert_eq!(x_kv.cols(), self.dim);
-        let q = x_q.matmul(&self.wq);
-        let k = x_kv.matmul(&self.wk);
-        let v = x_kv.matmul(&self.wv);
+        let q = x_q.matmul_ws(&self.wq, ws);
+        let k = x_kv.matmul_ws(&self.wk, ws);
+        let v = x_kv.matmul_ws(&self.wv, ws);
         let head_dim = self.dim / self.heads;
         let n_q = q.rows();
-        // Process heads in parallel, each slicing its column band.
-        let outs: Vec<Matrix> = zenesis_par::par_map_range(self.heads, |h| {
-            let c0 = h * head_dim;
-            let slice = |m: &Matrix| {
-                Matrix::from_fn(m.rows(), head_dim, |r, c| m.get(r, c0 + c))
-            };
-            attention(&slice(&q), &slice(&k), &slice(&v))
-        });
-        // Concatenate heads and project out.
-        let concat = Matrix::from_fn(n_q, self.dim, |r, c| {
-            outs[c / head_dim].get(r, c % head_dim)
-        });
-        concat.matmul(&self.wo)
+        let mut concat = ws.matrix(n_q, self.dim);
+        // Fan out across heads only when there is real work: small heads
+        // (a 3-token grounding query) run inline and strictly zero-copy.
+        let madds_per_head = 2 * n_q * k.rows() * head_dim;
+        if zenesis_par::current_threads() <= 1
+            || self.heads < 2
+            || madds_per_head * self.heads < zenesis_tensor::PAR_MIN_MADDS
+        {
+            for h in 0..self.heads {
+                let c0 = h * head_dim;
+                attention_into(
+                    &q.col_band(c0, head_dim),
+                    &k.col_band(c0, head_dim),
+                    &v.col_band(c0, head_dim),
+                    &mut concat.col_band_mut(c0, head_dim),
+                    ws,
+                );
+            }
+        } else {
+            // Parallel heads: each worker computes its head into a
+            // contiguous buffer (workers are scoped threads — they own
+            // their scratch), then rows are scattered into the concat
+            // bands with plain memcpys.
+            let outs: Vec<Matrix> = zenesis_par::par_map_range(self.heads, |h| {
+                let c0 = h * head_dim;
+                let mut head_out = Matrix::zeros(n_q, head_dim);
+                let mut local = Workspace::new();
+                attention_into(
+                    &q.col_band(c0, head_dim),
+                    &k.col_band(c0, head_dim),
+                    &v.col_band(c0, head_dim),
+                    &mut head_out.view_mut(),
+                    &mut local,
+                );
+                head_out
+            });
+            for (h, head_out) in outs.iter().enumerate() {
+                let c0 = h * head_dim;
+                for r in 0..n_q {
+                    concat.row_mut(r)[c0..c0 + head_dim].copy_from_slice(head_out.row(r));
+                }
+            }
+            for head_out in outs {
+                ws.recycle(head_out);
+            }
+        }
+        let out = concat.matmul_ws(&self.wo, ws);
+        ws.recycle(q);
+        ws.recycle(k);
+        ws.recycle(v);
+        ws.recycle(concat);
+        out
     }
 }
 
@@ -98,14 +515,28 @@ impl TransformerBlock {
 
     /// Self-attention forward pass over a token matrix `n x dim`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let normed = layernorm_rows(x, 1e-5);
-        let attended = self.attn.forward(&normed, &normed);
-        let x1 = x.add(&attended);
-        let normed2 = layernorm_rows(&x1, 1e-5);
-        let mut hidden = normed2.matmul(&self.w1);
+        Workspace::with(|ws| self.forward_ws(x, ws))
+    }
+
+    /// [`TransformerBlock::forward`] with a caller-supplied scratch
+    /// arena: every intermediate (normed tokens, attention output, MLP
+    /// hidden) is checked out of and returned to `ws`, so a stack of
+    /// blocks — or a batch of slices — runs allocation-free after the
+    /// first pass.
+    pub fn forward_ws(&self, x: &Matrix, ws: &mut Workspace) -> Matrix {
+        let mut normed = ws.matrix(x.rows(), x.cols());
+        layernorm_rows_into(x, &mut normed, 1e-5);
+        let mut x1 = self.attn.forward_ws(&normed, &normed, ws);
+        x1.add_assign(x); // residual, in place
+        layernorm_rows_into(&x1, &mut normed, 1e-5); // reuse as normed2
+        let mut hidden = normed.matmul_ws(&self.w1, ws);
+        ws.recycle(normed);
         gelu_inplace(&mut hidden);
-        let mlp = hidden.matmul(&self.w2);
-        x1.add(&mlp)
+        let mut out = hidden.matmul_ws(&self.w2, ws);
+        ws.recycle(hidden);
+        out.add_assign(&x1); // residual, in place
+        ws.recycle(x1);
+        out
     }
 }
 

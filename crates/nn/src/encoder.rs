@@ -3,7 +3,7 @@
 //! (GroundingDINO's backbone family).
 
 use zenesis_image::Image;
-use zenesis_tensor::Matrix;
+use zenesis_tensor::{Matrix, Workspace};
 
 use crate::attention::TransformerBlock;
 use crate::position::sinusoidal_2d;
@@ -31,17 +31,29 @@ impl PatchEmbed {
     /// Tokenize an image. Returns `(tokens, grid_w, grid_h)`; partial
     /// bottom/right patches are zero-padded.
     pub fn forward(&self, img: &Image<f32>) -> (Matrix, usize, usize) {
+        Workspace::with(|ws| self.forward_ws(img, ws))
+    }
+
+    /// [`PatchEmbed::forward`] with a caller-supplied scratch arena for
+    /// the raw patch matrix and the projection.
+    pub fn forward_ws(&self, img: &Image<f32>, ws: &mut Workspace) -> (Matrix, usize, usize) {
         let (w, h) = img.dims();
         let gw = w.div_ceil(self.patch);
         let gh = h.div_ceil(self.patch);
         let p = self.patch;
-        let raw = Matrix::from_fn(gw * gh, p * p, |t, c| {
+        let mut raw = ws.matrix(gw * gh, p * p);
+        for t in 0..gw * gh {
             let (gx, gy) = (t % gw, t / gw);
-            let (px, py) = (c % p, c / p);
-            let (x, y) = (gx * p + px, gy * p + py);
-            img.try_get(x, y).unwrap_or(0.0)
-        });
-        (raw.matmul(&self.proj), gw, gh)
+            let row = raw.row_mut(t);
+            for py in 0..p {
+                for px in 0..p {
+                    row[py * p + px] = img.try_get(gx * p + px, gy * p + py).unwrap_or(0.0);
+                }
+            }
+        }
+        let tokens = raw.matmul_ws(&self.proj, ws);
+        ws.recycle(raw);
+        (tokens, gw, gh)
     }
 }
 
@@ -70,11 +82,20 @@ impl VitEncoder {
 
     /// Encode an image into per-patch tokens. Returns `(tokens, gw, gh)`.
     pub fn forward(&self, img: &Image<f32>) -> (Matrix, usize, usize) {
-        let (tokens, gw, gh) = self.embed.forward(img);
+        Workspace::with(|ws| self.forward_ws(img, ws))
+    }
+
+    /// [`VitEncoder::forward`] with a caller-supplied scratch arena: each
+    /// block's input is recycled as soon as its output exists, so the
+    /// whole depth-N stack reuses a handful of buffers.
+    pub fn forward_ws(&self, img: &Image<f32>, ws: &mut Workspace) -> (Matrix, usize, usize) {
+        let (mut x, gw, gh) = self.embed.forward_ws(img, ws);
         let pe = sinusoidal_2d(gw, gh, self.embed.dim);
-        let mut x = tokens.add(&pe);
+        x.add_assign(&pe);
+        ws.recycle(pe);
         for blk in &self.blocks {
-            x = blk.forward(&x);
+            let y = blk.forward_ws(&x, ws);
+            ws.recycle(std::mem::replace(&mut x, y));
         }
         (x, gw, gh)
     }
@@ -142,15 +163,23 @@ impl SwinStage {
                     }
                 }
             }
-            let sub = Matrix::from_fn(idxs.len(), self.dim, |r, c| x.get(idxs[r], c));
-            (idxs, blk.forward(&sub))
+            // Gather the window's tokens with whole-row memcpys (each
+            // token is one contiguous row of `x`).
+            let sub = Workspace::with(|ws| {
+                let mut sub = ws.matrix(idxs.len(), self.dim);
+                for (r, &tok) in idxs.iter().enumerate() {
+                    sub.row_mut(r).copy_from_slice(x.row(tok));
+                }
+                let out = blk.forward_ws(&sub, ws);
+                ws.recycle(sub);
+                out
+            });
+            (idxs, sub)
         });
         let mut out = Matrix::zeros(gw * gh, self.dim);
         for (idxs, sub) in results {
             for (r, &tok) in idxs.iter().enumerate() {
-                for c in 0..self.dim {
-                    out.set(tok, c, sub.get(r, c));
-                }
+                out.row_mut(tok).copy_from_slice(sub.row(r));
             }
         }
         out

@@ -23,6 +23,6 @@ mod attention;
 mod encoder;
 mod position;
 
-pub use attention::{attention, attention_weights, MultiHeadAttention, TransformerBlock};
+pub use attention::{attention, attention_into, attention_weights, MultiHeadAttention, TransformerBlock};
 pub use encoder::{PatchEmbed, SwinStage, VitEncoder};
 pub use position::sinusoidal_2d;

@@ -1,0 +1,118 @@
+//! Parity suite: the fused attention kernel (running-max score pass,
+//! `fast_exp` softmax, normalizer folded into the output scale) must
+//! match an unfused libm-exact reference — materialized score matrix,
+//! `f32::exp` softmax, separate A·V product — to within 1e-4.
+//!
+//! The shape grid deliberately hits every dispatch path in the fused
+//! kernel: head dims in {8, 16, 32, 64, 128} take the const-generic
+//! specializations, odd head dims fall back to the generic scorer,
+//! odd `n_kv` exercises the dot-product tail, odd `n_q` the unpaired
+//! final query row, and assorted `d_v` widths cover the 32-wide,
+//! 16-wide, and remainder output-accumulator blocks.
+
+use proptest::prelude::*;
+use zenesis_nn::attention;
+use zenesis_tensor::Matrix;
+
+/// Unfused reference: scores = Q·Kᵀ/√d, exact-softmax per row, then ·V.
+fn naive_attention(q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
+    let d = q.cols();
+    let scale = 1.0 / (d as f32).sqrt();
+    let mut out = Matrix::zeros(q.rows(), v.cols());
+    for r in 0..q.rows() {
+        let mut scores: Vec<f32> = (0..k.rows())
+            .map(|j| {
+                let dot: f32 = q.row(r).iter().zip(k.row(j)).map(|(a, b)| a * b).sum();
+                dot * scale
+            })
+            .collect();
+        let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for s in scores.iter_mut() {
+            *s = (*s - max).exp();
+            sum += *s;
+        }
+        for (j, &w) in scores.iter().enumerate() {
+            for c in 0..v.cols() {
+                out.set(r, c, out.get(r, c) + (w / sum) * v.get(j, c));
+            }
+        }
+    }
+    out
+}
+
+fn check(n_q: usize, n_kv: usize, d: usize, d_v: usize) {
+    let seed = (n_q * 1_000_003 + n_kv * 1009 + d * 31 + d_v) as u64;
+    let q = Matrix::seeded_uniform(n_q, d, 2.0, seed);
+    let k = Matrix::seeded_uniform(n_kv, d, 2.0, seed ^ 0xa5a5);
+    let v = Matrix::seeded_uniform(n_kv, d_v, 2.0, seed ^ 0x5a5a);
+    let got = attention(&q, &k, &v);
+    let want = naive_attention(&q, &k, &v);
+    assert_eq!((got.rows(), got.cols()), (n_q, d_v));
+    for r in 0..n_q {
+        for c in 0..d_v {
+            let (g, w) = (got.get(r, c), want.get(r, c));
+            assert!(
+                (g - w).abs() <= 1e-4 * w.abs().max(1.0),
+                "attention {n_q}x{n_kv} d={d} d_v={d_v}: ({r},{c}) got {g} want {w}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_attention_matches_naive_specialized_dims() {
+    // The const-generic fast paths: d ∈ {8, 16, 32, 64, 128}.
+    for d in [8usize, 16, 32, 64, 128] {
+        check(4, 64, d, d);
+        check(3, 256, d, 32); // the benchmarked grounding shape family
+    }
+}
+
+#[test]
+fn fused_attention_matches_naive_generic_dims() {
+    // Odd head dims route through the generic scorer, including the
+    // sub-4 and non-multiple-of-4 remainders.
+    for d in [1usize, 3, 7, 12, 33, 100] {
+        check(5, 37, d, 19);
+    }
+}
+
+#[test]
+fn fused_attention_matches_naive_edge_shapes() {
+    check(1, 1, 8, 1); // fully degenerate
+    check(1, 257, 32, 64); // single query row, odd kv count
+    check(7, 2, 16, 3); // odd n_q → unpaired tail row
+    check(2, 5, 64, 1); // d_v=1: pure remainder accumulator
+    check(3, 9, 32, 17); // 16-wide block + remainder
+    check(2, 11, 32, 48); // 32-wide + 16-wide, no remainder
+    check(5, 13, 32, 100); // 3×32 + remainder-4
+}
+
+#[test]
+fn fused_attention_matches_naive_large_dispatch() {
+    // Big enough (n_q ≥ 32, K+V ≥ 24k floats) to take the unfused
+    // materialized-scores route inside `attention_into`.
+    check(40, 128, 96, 96);
+    check(64, 256, 64, 64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random shapes and data: fused and unfused agree everywhere.
+    #[test]
+    fn fused_attention_parity_random(
+        n_q in 1usize..9, n_kv in 1usize..40, d in 1usize..40, d_v in 1usize..40,
+        seed in 0u64..10_000
+    ) {
+        let q = Matrix::seeded_uniform(n_q, d, 2.0, seed);
+        let k = Matrix::seeded_uniform(n_kv, d, 2.0, seed ^ 0x1234);
+        let v = Matrix::seeded_uniform(n_kv, d_v, 2.0, seed ^ 0x4321);
+        let got = attention(&q, &k, &v);
+        let want = naive_attention(&q, &k, &v);
+        for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+            prop_assert!((g - w).abs() <= 1e-4 * w.abs().max(1.0), "got {g} want {w}");
+        }
+    }
+}

@@ -39,7 +39,7 @@ pub use pool::ThreadPool;
 pub use progress::Progress;
 pub use scope::{
     chunk_len, par_for_each, par_for_each_indexed, par_map, par_map_range, par_reduce_range,
-    par_rows,
+    par_rows, par_rows_min, small_work_threshold, SMALL_WORK_ELEMS,
 };
 
 #[cfg(test)]

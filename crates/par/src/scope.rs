@@ -9,8 +9,29 @@
 
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use crate::config::current_threads;
+
+/// Default element count below which [`par_rows`] runs inline on the
+/// caller thread: spawning scoped workers costs tens of microseconds,
+/// which dwarfs the work itself for small buffers (a 3x256 attention
+/// score matrix, a handful of layer-norm rows). Callers whose per-element
+/// cost is far from O(1) should use [`par_rows_min`] with their own
+/// threshold.
+pub const SMALL_WORK_ELEMS: usize = 4096;
+
+/// The active small-work threshold: `ZENESIS_PAR_MIN_WORK` when set (0
+/// disables the inline fast path entirely), else [`SMALL_WORK_ELEMS`].
+pub fn small_work_threshold() -> usize {
+    static T: OnceLock<usize> = OnceLock::new();
+    *T.get_or_init(|| {
+        std::env::var("ZENESIS_PAR_MIN_WORK")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(SMALL_WORK_ELEMS)
+    })
+}
 
 /// Chunk length heuristic: enough chunks for dynamic load balancing
 /// (~4 per worker) but not so many that the atomic counter contends.
@@ -214,7 +235,22 @@ where
 /// in parallel, handing each worker call a disjoint band of full rows.
 ///
 /// `f(row_start, band)` where `band` covers rows `row_start..row_start+k`.
+///
+/// Buffers smaller than [`small_work_threshold`] elements run inline on
+/// the caller thread — fan-out overhead beats any parallel win there.
+/// Use [`par_rows_min`] to supply a custom threshold when per-element
+/// cost is unusual (e.g. a matmul row costs O(k), not O(1)).
 pub fn par_rows<T, F>(data: &mut [T], row_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    par_rows_min(data, row_len, small_work_threshold(), f)
+}
+
+/// [`par_rows`] with an explicit inline threshold: buffers with fewer
+/// than `min_elems` elements are processed on the caller thread.
+pub fn par_rows_min<T, F>(data: &mut [T], row_len: usize, min_elems: usize, f: F)
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
@@ -223,7 +259,7 @@ where
     assert_eq!(data.len() % row_len, 0, "buffer not a whole number of rows");
     let rows = data.len() / row_len;
     let workers = current_threads();
-    if workers <= 1 || rows < 2 {
+    if workers <= 1 || rows < 2 || data.len() < min_elems {
         f(0, data);
         return;
     }
@@ -292,11 +328,40 @@ mod tests {
     }
 
     #[test]
+    fn small_buffer_runs_inline() {
+        let _g = ThreadsGuard::new(4);
+        let main_id = std::thread::current().id();
+        // Under the threshold: processed on the caller thread in one call.
+        let mut small = vec![0u8; 64];
+        let calls = AtomicUsize::new(0);
+        par_rows(&mut small, 8, |_, _| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(std::thread::current().id(), main_id);
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn zero_min_forces_banding() {
+        let _g = ThreadsGuard::new(4);
+        // min_elems 0: even a tiny buffer is split into bands.
+        let mut buf = vec![0u32; 64];
+        par_rows_min(&mut buf, 8, 0, |row_start, band| {
+            for (r, row) in band.chunks_mut(8).enumerate() {
+                row.fill((row_start + r) as u32);
+            }
+        });
+        for (r, row) in buf.chunks(8).enumerate() {
+            assert!(row.iter().all(|&v| v == r as u32));
+        }
+    }
+
+    #[test]
     fn rows_bands_are_disjoint_and_complete() {
         let row_len = 17;
         let rows = 57;
         let mut buf = vec![0u8; row_len * rows];
-        par_rows(&mut buf, row_len, |row_start, band| {
+        par_rows_min(&mut buf, row_len, 0, |row_start, band| {
             for (r, row) in band.chunks_mut(row_len).enumerate() {
                 for v in row.iter_mut() {
                     *v = ((row_start + r) % 251) as u8;

@@ -13,11 +13,21 @@
 //!   the mechanism by which grounding rescues SAM in the paper), followed
 //!   by small-component suppression, gap closing, and hole filling.
 
+use std::cell::RefCell;
+
 use zenesis_image::components::{label_components, Connectivity};
 use zenesis_image::morphology::fill_holes;
 use zenesis_image::{BitMask, BoxRegion, Point};
 
 use crate::embedding::ImageEmbedding;
+
+thread_local! {
+    /// Reused DFS frontier for [`region_grow`]. A multimask decode runs the
+    /// grow three times (one per granularity) and the auto-segmenter runs it
+    /// once per seed; recycling the frontier keeps those loops
+    /// allocation-free after warm-up, mirroring `zenesis_tensor::Workspace`.
+    static GROW_STACK: RefCell<Vec<Point>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Tolerance-bounded region growing from seeds.
 ///
@@ -44,7 +54,10 @@ pub fn region_grow(
         .map(|p| emb.smooth.get(p.x.min(w - 1), p.y.min(h - 1)))
         .sum::<f32>()
         / seeds.len() as f32;
-    let mut stack: Vec<Point> = Vec::new();
+    // Take (not borrow) the scratch so re-entrancy can never panic; a
+    // concurrent taker just pays one fresh allocation.
+    let mut stack = GROW_STACK.with(|cell| std::mem::take(&mut *cell.borrow_mut()));
+    stack.clear();
     for s in seeds {
         let p = Point::new(s.x.min(w - 1), s.y.min(h - 1));
         if bounds.contains(p) && !mask.get(p.x, p.y) {
@@ -75,6 +88,7 @@ pub fn region_grow(
             }
         }
     }
+    GROW_STACK.with(|cell| *cell.borrow_mut() = stack);
     mask
 }
 

@@ -1,17 +1,30 @@
 //! # zenesis-tensor
 //!
 //! The minimal dense-linear-algebra substrate under the Zenesis
-//! transformer stack: a row-major [`Matrix`] with cache-blocked,
-//! row-parallel matrix multiplication, plus the handful of pointwise and
-//! row-wise kernels attention needs (softmax, layer norm, GELU).
+//! transformer stack: a row-major [`Matrix`] with panel-packed,
+//! cache-blocked, row-parallel matrix multiplication, zero-copy strided
+//! views ([`MatView`] / [`MatViewMut`]) for slicing attention heads
+//! without copies, a reusable scratch arena ([`Workspace`]) that keeps
+//! the transformer hot loops allocation-free, plus the handful of
+//! pointwise and row-wise kernels attention needs (softmax, layer norm,
+//! GELU).
 //!
 //! Everything is `f32` and CPU-side; the parallel scheduling comes from
 //! `zenesis-par` and follows the Rust Performance Book's advice: flat
-//! buffers, preallocated outputs, no per-element allocation, inner loops
-//! over contiguous memory.
+//! buffers, preallocated (and recycled) outputs, no per-element
+//! allocation, inner loops over contiguous memory shaped for the
+//! autovectorizer. See `docs/PERFORMANCE.md` for the kernel design.
 
+mod matmul;
 mod matrix;
 mod ops;
+mod view;
+mod workspace;
 
+pub use matmul::{MR, NR, PAR_MIN_MADDS};
 pub use matrix::Matrix;
-pub use ops::{gelu, gelu_inplace, layernorm_rows, softmax_rows};
+pub use ops::{
+    fast_exp, gelu, gelu_inplace, layernorm_rows, layernorm_rows_into, softmax_row, softmax_rows,
+};
+pub use view::{MatView, MatViewMut};
+pub use workspace::Workspace;

@@ -1,0 +1,209 @@
+//! Cache-blocked, panel-packed matrix multiplication kernels.
+//!
+//! Both products (`A·B` and `A·Bᵀ`) reduce to the same micro-kernel:
+//! the RHS is repacked into [`NR`]-wide column panels laid out k-major
+//! (`panel[kk * NR + jr]`), and each output row is produced panel by
+//! panel with an `NR`-lane accumulator. The inner loop is a broadcast
+//! multiply-add over a fixed-width array, the exact shape LLVM's
+//! autovectorizer turns into SIMD fma/mul+add chains; the panel layout
+//! makes every load contiguous regardless of whether the logical RHS was
+//! `k x n` or (for `A·Bᵀ`) `n x k`.
+//!
+//! Blocking: output rows are walked in [`MR`]-row blocks with the panel
+//! loop outside the row loop, so one ~`k·NR·4`-byte panel stays resident
+//! in L1 while it is reused across the whole row block. The k dimension
+//! is contracted in source order, so results are bit-identical to the
+//! naive triple loop.
+//!
+//! Products below [`PAR_MIN_MADDS`] multiply-adds skip the thread pool
+//! entirely — fan-out overhead dominates small kernels (a 3-token
+//! grounding query, a SAM prompt head), and the serving layer already
+//! parallelizes across jobs at that scale.
+
+use crate::workspace::Workspace;
+use zenesis_par::{current_threads, par_rows_min};
+
+/// Panel width: accumulator lanes per output-column group.
+pub const NR: usize = 8;
+
+/// Row-block height: output rows sharing one L1-resident panel sweep.
+pub const MR: usize = 32;
+
+/// Multiply-add count below which the product runs on the caller thread.
+pub const PAR_MIN_MADDS: usize = 1 << 18;
+
+/// Pack `rhs` (`k x n`, row-major) into NR-wide k-major column panels.
+/// `packed` must hold `n.div_ceil(NR) * NR * k` elements; tail columns
+/// are zero-filled so the micro-kernel needs no column bounds checks.
+fn pack_rhs(rhs: &[f32], k: usize, n: usize, packed: &mut [f32]) {
+    let n_panels = n.div_ceil(NR);
+    debug_assert_eq!(packed.len(), n_panels * NR * k);
+    for p in 0..n_panels {
+        let j0 = p * NR;
+        let width = NR.min(n - j0);
+        let panel = &mut packed[p * NR * k..(p + 1) * NR * k];
+        for kk in 0..k {
+            let src = &rhs[kk * n + j0..kk * n + j0 + width];
+            let dst = &mut panel[kk * NR..kk * NR + NR];
+            dst[..width].copy_from_slice(src);
+            dst[width..].fill(0.0);
+        }
+    }
+}
+
+/// Pack `rhs` (`n x k`, row-major) as if transposed: panel `p` holds
+/// rhs rows `p*NR..p*NR+NR` interleaved k-major, so `A · rhsᵀ` uses the
+/// same micro-kernel as `A · B` without materializing the transpose.
+fn pack_rhs_t(rhs: &[f32], k: usize, n: usize, packed: &mut [f32]) {
+    let n_panels = n.div_ceil(NR);
+    debug_assert_eq!(packed.len(), n_panels * NR * k);
+    for p in 0..n_panels {
+        let j0 = p * NR;
+        let width = NR.min(n - j0);
+        let panel = &mut packed[p * NR * k..(p + 1) * NR * k];
+        for jr in 0..width {
+            let row = &rhs[(j0 + jr) * k..(j0 + jr + 1) * k];
+            for (kk, &v) in row.iter().enumerate() {
+                panel[kk * NR + jr] = v;
+            }
+        }
+        if width < NR {
+            for kk in 0..k {
+                panel[kk * NR + width..kk * NR + NR].fill(0.0);
+            }
+        }
+    }
+}
+
+/// `acc[jr] += Σ_kk a[kk] * panel[kk*NR + jr]` — the 1xNR micro-kernel.
+/// `a.len() == k` and `panel.len() == k * NR`; the fixed-width inner
+/// loop autovectorizes to a broadcast-multiply-accumulate.
+#[inline(always)]
+fn micro_1xnr(a: &[f32], panel: &[f32], acc: &mut [f32; NR]) {
+    debug_assert_eq!(panel.len(), a.len() * NR);
+    for (av, p) in a.iter().zip(panel.chunks_exact(NR)) {
+        let av = *av;
+        for jr in 0..NR {
+            acc[jr] += av * p[jr];
+        }
+    }
+}
+
+/// Compute one band of output rows (`row_start..row_start + band_rows`)
+/// against the fully packed RHS.
+fn band_kernel(lhs: &[f32], k: usize, n: usize, packed: &[f32], row_start: usize, band: &mut [f32]) {
+    let n_panels = n.div_ceil(NR);
+    let band_rows = band.len() / n;
+    let mut rb = 0;
+    while rb < band_rows {
+        let rows_here = MR.min(band_rows - rb);
+        // Panel loop outside the row loop: the panel stays in L1 while
+        // every row of the block consumes it.
+        for p in 0..n_panels {
+            let panel = &packed[p * NR * k..(p + 1) * NR * k];
+            let j0 = p * NR;
+            let width = NR.min(n - j0);
+            for r in rb..rb + rows_here {
+                let i = row_start + r;
+                let a_row = &lhs[i * k..(i + 1) * k];
+                let mut acc = [0.0f32; NR];
+                micro_1xnr(a_row, panel, &mut acc);
+                band[r * n + j0..r * n + j0 + width].copy_from_slice(&acc[..width]);
+            }
+        }
+        rb += rows_here;
+    }
+}
+
+/// Shared driver: pack the RHS (plain or transposed layout), then fill
+/// `out` (`m x n`) row-band by row-band, parallel only above the
+/// small-work threshold.
+#[allow(clippy::too_many_arguments)] // flat (buffer, dims) pairs keep the kernel ABI obvious
+pub(crate) fn matmul_packed(
+    lhs: &[f32],
+    m: usize,
+    k: usize,
+    rhs: &[f32],
+    n: usize,
+    rhs_transposed: bool,
+    out: &mut [f32],
+    ws: &mut Workspace,
+) {
+    debug_assert_eq!(lhs.len(), m * k);
+    debug_assert_eq!(out.len(), m * n);
+    let n_panels = n.div_ceil(NR);
+    let mut packed = ws.take(n_panels * NR * k);
+    if rhs_transposed {
+        pack_rhs_t(rhs, k, n, &mut packed);
+    } else {
+        pack_rhs(rhs, k, n, &mut packed);
+    }
+    let madds = m * n * k;
+    if madds < PAR_MIN_MADDS || current_threads() <= 1 {
+        band_kernel(lhs, k, n, &packed, 0, out);
+    } else {
+        let packed_ref = &packed;
+        par_rows_min(out, n, 0, |row_start, band| {
+            band_kernel(lhs, k, n, packed_ref, row_start, band);
+        });
+    }
+    ws.recycle_vec(packed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, bt: bool) -> Vec<f32> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f32;
+                for kk in 0..k {
+                    let bv = if bt { b[j * k + kk] } else { b[kk * n + j] };
+                    s += a[i * k + kk] * bv;
+                }
+                out[i * n + j] = s;
+            }
+        }
+        out
+    }
+
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packed_matches_naive_exactly_on_awkward_shapes() {
+        // k-order contraction means bit-identical results, not just close.
+        for &(m, k, n) in &[(1, 1, 1), (1, 7, 9), (9, 1, 7), (7, 9, 1), (13, 29, 17), (33, 8, 40)] {
+            let a = fill(m * k, 3 * m as u64 + n as u64);
+            let b = fill(k * n, 7 * k as u64 + 1);
+            let bt = fill(n * k, 11 * k as u64 + 5);
+            let mut ws = Workspace::new();
+            let mut out = vec![0.0; m * n];
+            matmul_packed(&a, m, k, &b, n, false, &mut out, &mut ws);
+            assert_eq!(out, naive(&a, m, k, &b, n, false), "plain {m}x{k}x{n}");
+            matmul_packed(&a, m, k, &bt, n, true, &mut out, &mut ws);
+            assert_eq!(out, naive(&a, m, k, &bt, n, true), "transposed {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn pack_tail_is_zero_padded() {
+        // n = 5: one panel, three zero lanes.
+        let rhs: Vec<f32> = (0..10).map(|v| v as f32 + 1.0).collect(); // 2 x 5
+        let mut packed = vec![9.9; NR * 2];
+        pack_rhs(&rhs, 2, 5, &mut packed);
+        assert_eq!(&packed[..5], &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(&packed[5..8], &[0.0, 0.0, 0.0]);
+        assert_eq!(&packed[8..13], &[6.0, 7.0, 8.0, 9.0, 10.0]);
+        assert_eq!(&packed[13..16], &[0.0, 0.0, 0.0]);
+    }
+}

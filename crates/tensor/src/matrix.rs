@@ -1,6 +1,12 @@
 //! Row-major `f32` matrices with parallel blocked multiplication.
 
-use zenesis_par::par_rows;
+use crate::matmul::matmul_packed;
+use crate::workspace::Workspace;
+
+/// Transpose tile side: a `TILE x TILE` block of `f32` is 4 KiB — two
+/// tiles (source + destination) sit comfortably in L1, so both the
+/// strided reads and the strided writes stay within cached lines.
+const TRANSPOSE_TILE: usize = 32;
 
 /// A dense row-major matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,76 +109,69 @@ impl Matrix {
         &mut self.data
     }
 
-    /// Transpose.
+    /// Consume the matrix, returning its backing buffer (so a
+    /// [`Workspace`] can recycle the allocation).
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Blocked transpose: walks `TRANSPOSE_TILE`-square tiles so both the
+    /// source reads and the destination writes stay within L1-resident
+    /// lines (the naive row-major scan write-misses every element for
+    /// matrices wider than a few cache lines).
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        let (rows, cols) = (self.rows, self.cols);
+        for r0 in (0..rows).step_by(TRANSPOSE_TILE) {
+            let r1 = (r0 + TRANSPOSE_TILE).min(rows);
+            for c0 in (0..cols).step_by(TRANSPOSE_TILE) {
+                let c1 = (c0 + TRANSPOSE_TILE).min(cols);
+                for r in r0..r1 {
+                    for c in c0..c1 {
+                        out.data[c * rows + r] = self.data[r * cols + c];
+                    }
+                }
             }
         }
         out
     }
 
-    /// Parallel matrix multiplication `self * rhs`.
-    ///
-    /// The inner kernel iterates `k` in the middle loop over `rhs` rows so
-    /// both operands stream contiguously (the classic ikj ordering);
-    /// output rows are distributed over worker bands.
+    /// Matrix multiplication `self * rhs` through the panel-packed
+    /// blocked kernel (see `src/matmul.rs`), using the calling
+    /// thread's scratch arena for the packing buffer and output.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        Workspace::with(|ws| self.matmul_ws(rhs, ws))
+    }
+
+    /// [`Matrix::matmul`] with a caller-supplied scratch arena.
+    pub fn matmul_ws(&self, rhs: &Matrix, ws: &mut Workspace) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Matrix::zeros(m, n);
-        let lhs = &self.data;
-        let rdat = &rhs.data;
-        par_rows(&mut out.data, n, |row_start, band| {
-            for (bi, orow) in band.chunks_mut(n).enumerate() {
-                let i = row_start + bi;
-                let arow = &lhs[i * k..(i + 1) * k];
-                for (kk, &a) in arow.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let brow = &rdat[kk * n..(kk + 1) * n];
-                    for (o, &b) in orow.iter_mut().zip(brow) {
-                        *o += a * b;
-                    }
-                }
-            }
-        });
+        let mut out = ws.matrix(m, n);
+        matmul_packed(&self.data, m, k, &rhs.data, n, false, out.as_mut_slice(), ws);
         out
     }
 
     /// `self * rhs^T` without materializing the transpose (useful for
     /// `Q K^T` where both operands are row-major token matrices).
     pub fn matmul_transposed(&self, rhs: &Matrix) -> Matrix {
+        Workspace::with(|ws| self.matmul_transposed_ws(rhs, ws))
+    }
+
+    /// [`Matrix::matmul_transposed`] with a caller-supplied scratch arena.
+    pub fn matmul_transposed_ws(&self, rhs: &Matrix, ws: &mut Workspace) -> Matrix {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_t shape mismatch: {}x{} * ({}x{})^T",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let (m, k, n) = (self.rows, self.cols, rhs.rows);
-        let mut out = Matrix::zeros(m, n);
-        let lhs = &self.data;
-        let rdat = &rhs.data;
-        par_rows(&mut out.data, n, |row_start, band| {
-            for (bi, orow) in band.chunks_mut(n).enumerate() {
-                let i = row_start + bi;
-                let arow = &lhs[i * k..(i + 1) * k];
-                for (j, o) in orow.iter_mut().enumerate() {
-                    let brow = &rdat[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    for (&a, &b) in arow.iter().zip(brow) {
-                        acc += a * b;
-                    }
-                    *o = acc;
-                }
-            }
-        });
+        let mut out = ws.matrix(m, n);
+        matmul_packed(&self.data, m, k, &rhs.data, n, true, out.as_mut_slice(), ws);
         out
     }
 
@@ -186,6 +185,23 @@ impl Matrix {
             .map(|(a, b)| a + b)
             .collect();
         Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Elementwise in-place addition `self += rhs` — the residual adds of
+    /// the transformer blocks, without allocating a fresh matrix.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place axpy `self += s * rhs` (residual blends).
+    pub fn add_scaled(&mut self, rhs: &Matrix, s: f32) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += s * b;
+        }
     }
 
     /// Add a row vector (bias) to every row, in place.
@@ -275,6 +291,49 @@ mod tests {
         let a = Matrix::seeded_uniform(5, 9, 2.0, 6);
         assert_eq!(a.transpose().transpose(), a);
         assert_eq!(a.transpose().get(3, 2), a.get(2, 3));
+    }
+
+    #[test]
+    fn blocked_transpose_non_square_shapes() {
+        // Shapes straddling the tile size in one or both dimensions, plus
+        // degenerate single-row/column cases.
+        for &(r, c) in &[(1, 100), (100, 1), (31, 33), (32, 32), (33, 65), (70, 40), (129, 3)] {
+            let a = Matrix::seeded_uniform(r, c, 1.0, (r * 1000 + c) as u64);
+            let t = a.transpose();
+            assert_eq!((t.rows(), t.cols()), (c, r), "{r}x{c}");
+            for i in 0..r {
+                for j in 0..c {
+                    assert_eq!(t.get(j, i), a.get(i, j), "{r}x{c} at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let a = Matrix::seeded_uniform(7, 11, 1.0, 40);
+        let b = Matrix::seeded_uniform(7, 11, 1.0, 41);
+        let sum = a.add(&b);
+        let mut ip = a.clone();
+        ip.add_assign(&b);
+        assert_eq!(ip, sum);
+    }
+
+    #[test]
+    fn add_scaled_is_axpy() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![10.0, 10.0, 10.0, 10.0]);
+        let mut x = a.clone();
+        x.add_scaled(&b, 0.5);
+        assert_eq!(x.as_slice(), &[6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn add_assign_shape_mismatch_panics() {
+        let mut a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 2);
+        a.add_assign(&b);
     }
 
     #[test]

