@@ -29,7 +29,7 @@ pub mod normalize;
 pub mod pipeline;
 pub mod resample;
 
-pub use pipeline::{AdaptPipeline, AdaptStage, AdaptTrace};
+pub use pipeline::{AdaptError, AdaptPipeline, AdaptStage, AdaptTrace};
 
 use zenesis_image::{Image, Pixel, RgbImage};
 

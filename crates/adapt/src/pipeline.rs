@@ -10,6 +10,44 @@ use zenesis_image::Image;
 
 use crate::{denoise, destripe, equalize, normalize, resample};
 
+/// A structured adaptation failure (checked runs only).
+///
+/// The plain [`AdaptPipeline::run`] / [`AdaptPipeline::run_traced`] never
+/// fail; the `_checked` variants used by the fault-tolerant volume path
+/// guard each stage boundary so poisoned pixels are caught *here*, with
+/// the stage named, instead of surfacing as silent garbage (or asserts)
+/// deep inside DINO/SAM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdaptError {
+    /// A stage produced NaN/Inf pixels.
+    NonFinite {
+        /// Name of the stage whose output was poisoned.
+        stage: String,
+        /// Number of non-finite pixels in that output.
+        count: usize,
+    },
+    /// A fault-injection site forced this stage to fail (test harnesses).
+    Injected {
+        /// Name of the stage the fault fired under.
+        stage: String,
+    },
+}
+
+impl std::fmt::Display for AdaptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdaptError::NonFinite { stage, count } => {
+                write!(f, "adapt stage {stage} produced {count} non-finite pixels")
+            }
+            AdaptError::Injected { stage } => {
+                write!(f, "injected fault in adapt stage {stage}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdaptError {}
+
 /// One adaptation operator with its parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "op", rename_all = "snake_case")]
@@ -200,6 +238,89 @@ impl AdaptPipeline {
         cur
     }
 
+    /// Run the pipeline with NaN/Inf boundary guards after every stage.
+    ///
+    /// Identical output to [`run`](Self::run) on healthy input (the guard
+    /// only *scans*; it never rewrites pixels). A stage that emits
+    /// non-finite values fails fast with [`AdaptError::NonFinite`] naming
+    /// the stage, so the volume pipeline can quarantine the slice instead
+    /// of feeding poison into DINO/SAM. Denoise stages additionally check
+    /// the `adapt.denoise` fault-injection site.
+    pub fn run_checked(&self, img: &Image<f32>) -> Result<Image<f32>, AdaptError> {
+        let mut cur = img.clone();
+        for stage in &self.stages {
+            let _s = zenesis_obs::enabled()
+                .then(|| zenesis_obs::span(format!("adapt.{}", stage.name())));
+            cur = stage.apply(&cur);
+            Self::guard_stage(stage, &mut cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// [`run_traced`](Self::run_traced) with the same boundary guards as
+    /// [`run_checked`](Self::run_checked).
+    pub fn run_traced_checked(
+        &self,
+        img: &Image<f32>,
+    ) -> Result<(Image<f32>, Vec<AdaptTrace>), AdaptError> {
+        let mut cur = img.clone();
+        let mut traces = Vec::with_capacity(self.stages.len());
+        for stage in &self.stages {
+            let span = zenesis_obs::enabled()
+                .then(|| zenesis_obs::span(format!("adapt.{}", stage.name())));
+            cur = stage.apply(&cur);
+            drop(span);
+            Self::guard_stage(stage, &mut cur)?;
+            let (lo, hi) = cur.min_max();
+            traces.push(AdaptTrace {
+                stage: stage.name().to_string(),
+                out_min: lo,
+                out_max: hi,
+                out_mean: cur.mean_norm(),
+                out_width: cur.width(),
+                out_height: cur.height(),
+            });
+        }
+        Ok((cur, traces))
+    }
+
+    fn guard_stage(stage: &AdaptStage, out: &mut Image<f32>) -> Result<(), AdaptError> {
+        let is_denoise = matches!(
+            stage,
+            AdaptStage::Median { .. }
+                | AdaptStage::Gaussian { .. }
+                | AdaptStage::Bilateral { .. }
+                | AdaptStage::NlmLite { .. }
+        );
+        if is_denoise {
+            match zenesis_fault::trip("adapt.denoise") {
+                Some(zenesis_fault::Injection::Nan) => {
+                    // Poison a scattering of pixels; the guard below must
+                    // catch exactly this class of corruption.
+                    let px = out.as_mut_slice();
+                    let step = (px.len() / 16).max(1);
+                    for v in px.iter_mut().step_by(step) {
+                        *v = f32::NAN;
+                    }
+                }
+                Some(zenesis_fault::Injection::Error) => {
+                    return Err(AdaptError::Injected {
+                        stage: stage.name().to_string(),
+                    });
+                }
+                None => {}
+            }
+        }
+        let count = out.as_slice().iter().filter(|v| !v.is_finite()).count();
+        if count > 0 {
+            return Err(AdaptError::NonFinite {
+                stage: stage.name().to_string(),
+                count,
+            });
+        }
+        Ok(())
+    }
+
     /// Run the pipeline, recording per-stage provenance.
     pub fn run_traced(&self, img: &Image<f32>) -> (Image<f32>, Vec<AdaptTrace>) {
         let mut cur = img.clone();
@@ -226,6 +347,10 @@ impl AdaptPipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    // The fault plan is process-global: serialize every test that arms it
+    // or runs a checked pipeline containing a denoise stage.
+    static FAULT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn identity_pipeline_is_identity() {
@@ -293,6 +418,57 @@ mod tests {
         assert_eq!(back, p);
         // And the JSON is the tagged no-code format.
         assert!(json.contains("\"op\":\"destripe\""));
+    }
+
+    #[test]
+    fn checked_run_matches_unchecked_on_clean_input() {
+        let _g = FAULT_LOCK.lock().unwrap();
+        let img = Image::<f32>::from_fn(24, 24, |x, y| ((x * 7 + y * 3) % 13) as f32 / 12.0);
+        for p in [
+            AdaptPipeline::recommended(),
+            AdaptPipeline::minimal(),
+            AdaptPipeline::stm(),
+        ] {
+            assert_eq!(p.run_checked(&img).unwrap(), p.run(&img));
+            let (traced, traces) = p.run_traced_checked(&img).unwrap();
+            assert_eq!(traced, p.run(&img));
+            assert_eq!(traces.len(), p.stages.len());
+        }
+    }
+
+    #[test]
+    fn checked_run_catches_poisoned_pixels() {
+        // NaN in the *input* survives the stretch and trips the guard at
+        // the first stage boundary.
+        let mut img = Image::<f32>::from_fn(16, 16, |x, _| x as f32 / 15.0);
+        img.as_mut_slice()[5] = f32::NAN;
+        img.as_mut_slice()[9] = f32::INFINITY;
+        let err = AdaptPipeline::minimal().run_checked(&img).unwrap_err();
+        match err {
+            AdaptError::NonFinite { stage, count } => {
+                assert_eq!(stage, "percentile_stretch");
+                assert!(count >= 1, "count {count}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn denoise_fault_site_poisons_checked_runs_only() {
+        let _g = FAULT_LOCK.lock().unwrap();
+        use zenesis_fault::{FaultKind, FaultPlan};
+        let img = Image::<f32>::from_fn(16, 16, |x, y| ((x + 2 * y) % 9) as f32 / 8.0);
+        let _armed = FaultPlan::new()
+            .site("adapt.denoise", FaultKind::Nan, 1.0, 3)
+            .arm();
+        // recommended() contains a median denoise stage -> poisoned.
+        let err = AdaptPipeline::recommended().run_checked(&img).unwrap_err();
+        assert!(matches!(err, AdaptError::NonFinite { ref stage, .. } if stage == "median"));
+        // minimal() has no denoise stage -> the site never fires.
+        assert!(AdaptPipeline::minimal().run_checked(&img).is_ok());
+        // The plain path never consults fault sites.
+        let out = AdaptPipeline::recommended().run(&img);
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -3,17 +3,38 @@
 use zenesis_image::histogram::Histogram;
 use zenesis_image::{BitMask, Image};
 
-/// Otsu's optimal global threshold on the normalized intensity domain.
+/// Why Otsu's method could not produce a meaningful threshold.
 ///
-/// Returns the threshold value in `[0, 1]`; pixels strictly above it are
-/// foreground. Computed over a 1024-bin histogram by maximizing the
-/// between-class variance `w0 * w1 * (mu0 - mu1)^2`.
-pub fn otsu_threshold(img: &Image<f32>) -> f32 {
+/// A degenerate histogram has no between-class variance to maximize; any
+/// "threshold" returned for it is an arbitrary number, and the mask built
+/// from it is noise. The fault-tolerant volume path uses this reason to
+/// mark a fallback slice `Failed` instead of shipping a garbage mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OtsuDegenerate {
+    /// The image has no pixels.
+    Empty,
+    /// Every pixel landed in a single histogram bin (constant intensity,
+    /// up to bin resolution).
+    SingleBin,
+}
+
+impl std::fmt::Display for OtsuDegenerate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OtsuDegenerate::Empty => write!(f, "empty image"),
+            OtsuDegenerate::SingleBin => write!(f, "constant intensity (single histogram bin)"),
+        }
+    }
+}
+
+/// Otsu's optimal global threshold, or the structured reason the
+/// histogram is degenerate (empty image or single occupied bin).
+pub fn try_otsu_threshold(img: &Image<f32>) -> Result<f32, OtsuDegenerate> {
     let bins = 1024;
     let hist = Histogram::of_image(img, bins);
     let total = hist.total() as f64;
     if total == 0.0 {
-        return 0.5;
+        return Err(OtsuDegenerate::Empty);
     }
     // Prefix sums of mass and intensity-weighted mass.
     let mut cum_mass = 0.0f64;
@@ -38,20 +59,40 @@ pub fn otsu_threshold(img: &Image<f32>) -> f32 {
         }
     }
     if best_var < 0.0 {
-        // Degenerate (single-level) histogram.
-        return 0.5;
+        // Every split left one side empty: single occupied bin.
+        return Err(OtsuDegenerate::SingleBin);
     }
     // Threshold at the upper edge of the winning bin.
-    (best_t as f32 + 1.0) / bins as f32
+    Ok((best_t as f32 + 1.0) / bins as f32)
+}
+
+/// Otsu's optimal global threshold on the normalized intensity domain.
+///
+/// Returns the threshold value in `[0, 1]`; pixels strictly above it are
+/// foreground. Computed over a 1024-bin histogram by maximizing the
+/// between-class variance `w0 * w1 * (mu0 - mu1)^2`. Degenerate
+/// histograms (see [`try_otsu_threshold`]) fall back to `0.5`.
+pub fn otsu_threshold(img: &Image<f32>) -> f32 {
+    try_otsu_threshold(img).unwrap_or(0.5)
+}
+
+/// [`segment_otsu`] with the degenerate case surfaced: constant-intensity
+/// and empty images return the structured reason instead of a mask built
+/// from a meaningless threshold.
+pub fn try_segment_otsu(img: &Image<f32>) -> Result<BitMask, OtsuDegenerate> {
+    Ok(BitMask::from_threshold(img, try_otsu_threshold(img)?))
 }
 
 /// Segment by global Otsu: foreground = pixels above the Otsu threshold.
 ///
 /// This is the paper's "Otsu thresholding" baseline exactly: no grounding,
 /// no spatial regularization — whatever is brighter than the split is the
-/// region of interest.
+/// region of interest. Degenerate (constant-intensity or empty) images
+/// return an **empty mask**: with no variance to split there is no
+/// evidence any pixel is foreground.
 pub fn segment_otsu(img: &Image<f32>) -> BitMask {
-    BitMask::from_threshold(img, otsu_threshold(img))
+    let (w, h) = img.dims();
+    try_segment_otsu(img).unwrap_or_else(|_| BitMask::new(w, h))
 }
 
 /// Two-threshold (three-class) Otsu: returns `(t_low, t_high)` maximizing
@@ -189,8 +230,29 @@ mod tests {
         let t = otsu_threshold(&img);
         assert!(t.is_finite());
         let m = segment_otsu(&img);
-        // Either all or none; both are "valid" for a constant image.
-        assert!(m.count() == 0 || m.count() == 256);
+        // No variance = no evidence of foreground: the mask is empty.
+        assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    fn degenerate_histograms_report_structured_reason() {
+        for v in [0.0, 0.5, 1.0] {
+            let img = Image::<f32>::filled(16, 16, v);
+            assert_eq!(
+                try_otsu_threshold(&img),
+                Err(OtsuDegenerate::SingleBin),
+                "constant {v}"
+            );
+            assert_eq!(try_segment_otsu(&img), Err(OtsuDegenerate::SingleBin));
+            // The infallible wrappers stay safe.
+            assert!(otsu_threshold(&img).is_finite());
+            assert_eq!(segment_otsu(&img).count(), 0);
+        }
+        assert!(OtsuDegenerate::SingleBin.to_string().contains("single"));
+        // A barely-bimodal image is NOT degenerate.
+        let img = bimodal(0.4, 0.6, 0.5);
+        assert!(try_otsu_threshold(&img).is_ok());
+        assert!(try_segment_otsu(&img).unwrap().count() > 0);
     }
 
     #[test]

@@ -25,13 +25,19 @@
 //! - `--events-out <path>` writes the structured event stream as JSONL.
 //! - `--quiet` suppresses the `[repro]` narration on stderr (the same
 //!   lines still land in the event stream as `info` records).
+//!
+//! The `volume` experiment runs a Mode B batch job end to end and prints
+//! its JSON result; `--checkpoint-dir <dir>` makes it crash-safe and
+//! resumable (`--no-resume` discards an existing journal), and
+//! `ZENESIS_FAULT=<site:kind:prob:seed>` injects faults for chaos drills
+//! (see `docs/ROBUSTNESS.md`).
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use zenesis_bench::*;
 use zenesis_core::config::ZenesisConfig;
-use zenesis_core::job::run_job;
+use zenesis_core::job::{run_job, InputSpec, JobSpec, PhantomKind};
 
 /// Narration facade: every progress line goes to the structured event
 /// stream (captured by `--events-out`), and to stderr unless `--quiet`.
@@ -86,6 +92,13 @@ fn main() {
     let ledger_out = take_flag_value(&mut args, "--ledger-out").map(PathBuf::from);
     let events_out = take_flag_value(&mut args, "--events-out").map(PathBuf::from);
     let label = take_flag_value(&mut args, "--label").unwrap_or_else(|| "run".into());
+    let checkpoint_dir = take_flag_value(&mut args, "--checkpoint-dir");
+    let resume = if let Some(i) = args.iter().position(|a| a == "--no-resume") {
+        args.remove(i);
+        false
+    } else {
+        true
+    };
     let quiet = if let Some(i) = args.iter().position(|a| a == "--quiet") {
         args.remove(i);
         true
@@ -97,7 +110,7 @@ fn main() {
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "tables", "fig3", "fig5", "fig6", "fig7", "fig8", "ablation", "scaling", "job",
-            "analysis", "modalities", "finetune", "interaction",
+            "volume", "analysis", "modalities", "finetune", "interaction",
         ]
     } else {
         args.iter().map(|s| s.as_str()).collect()
@@ -238,6 +251,25 @@ fn main() {
                 let result = run_job(&spec);
                 println!("response: {}\n", serde_json::to_string(&result).unwrap());
             }
+            "volume" => {
+                n.say("Mode B batch volume (fault-tolerant, checkpointable)...");
+                let spec = JobSpec::Batch {
+                    input: InputSpec::PhantomVolume {
+                        kind: PhantomKind::Crystalline,
+                        seed: SEED,
+                        depth: 12,
+                        side: SIDE,
+                        outlier_slices: vec![5],
+                    },
+                    prompt: "needle-like crystalline catalyst".into(),
+                    config: None,
+                    checkpoint_dir: checkpoint_dir.clone(),
+                    resume,
+                };
+                println!("== Mode B: batch volume ==");
+                let result = run_job(&spec);
+                println!("{}\n", serde_json::to_string_pretty(&result).unwrap());
+            }
             other => n.warn(format!("unknown experiment {other:?} (skipped)")),
         }
     }
@@ -269,7 +301,7 @@ fn main() {
             wall_start.elapsed().as_secs_f64(),
             eval.as_ref().map(zenesis_ledger::quality_from_eval).unwrap_or_default(),
         );
-        match std::fs::write(path, ledger.to_json()) {
+        match zenesis_obs::output::write_atomic(path, ledger.to_json()) {
             Ok(()) => n.say(format!("run ledger written to {}", path.display())),
             Err(e) => n.warn(format!("failed to write ledger {}: {e}", path.display())),
         }
@@ -280,7 +312,7 @@ fn main() {
         } else {
             zenesis_obs::export::trace_json_string(true)
         };
-        match std::fs::write(path, json) {
+        match zenesis_obs::output::write_atomic(path, json) {
             Ok(()) => n.say(format!("{trace_format} trace written to {}", path.display())),
             Err(e) => n.warn(format!("failed to write trace {}: {e}", path.display())),
         }
@@ -291,7 +323,7 @@ fn main() {
             n.warn(format!("event buffer overflowed; {dropped} oldest events dropped"));
         }
         // Written last so the drop warning itself makes it into the file.
-        match std::fs::write(path, zenesis_obs::events::events_jsonl()) {
+        match zenesis_obs::output::write_atomic(path, zenesis_obs::events::events_jsonl()) {
             Ok(()) => n.say(format!("event stream written to {}", path.display())),
             Err(e) => n.warn(format!("failed to write events {}: {e}", path.display())),
         }

@@ -155,6 +155,10 @@ fn default_side() -> usize {
     128
 }
 
+fn default_resume() -> bool {
+    true
+}
+
 /// Serializable mirror of [`SampleKind`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
@@ -189,6 +193,14 @@ pub enum JobSpec {
         prompt: String,
         #[serde(default)]
         config: Option<ZenesisConfig>,
+        /// Directory for the crash-safe per-slice journal; `None` runs
+        /// without checkpointing.
+        #[serde(default)]
+        checkpoint_dir: Option<String>,
+        /// Replay a compatible journal found in `checkpoint_dir`
+        /// (default) or discard it and start over.
+        #[serde(default = "default_resume")]
+        resume: bool,
     },
     /// Mode C: evaluate methods over the benchmark.
     Evaluate {
@@ -235,6 +247,12 @@ pub enum JobResult {
         depth: usize,
         corrections: usize,
         per_slice_pixels: Vec<usize>,
+        /// Slices served by a fallback (Otsu baseline or stage-1 mask).
+        #[serde(default)]
+        degraded: Vec<usize>,
+        /// Slices that produced nothing (empty mask).
+        #[serde(default)]
+        failed: Vec<usize>,
     },
     Evaluation {
         /// Rendered dashboard (Fig. 8 as text).
@@ -305,6 +323,34 @@ pub fn run_job_with_cancel(spec: &JobSpec, cancel: &CancelToken) -> JobResult {
     result
 }
 
+/// Map a fault-tolerant volume run onto the job contract: completed
+/// volumes (possibly with degraded/failed slices) are `Volume` results,
+/// cancellation is `Timeout`, and abort conditions are structured errors.
+fn volume_result(
+    run: Result<crate::temporal::VolumeResult, crate::temporal::VolumeError>,
+    depth: usize,
+    cancel: &CancelToken,
+) -> JobResult {
+    use crate::temporal::VolumeError;
+    match run {
+        Ok(r) => JobResult::Volume {
+            depth,
+            corrections: r.corrections(),
+            per_slice_pixels: r.masks.iter().map(|m| m.count()).collect(),
+            degraded: r.degraded_slices(),
+            failed: r.failed_slices(),
+        },
+        Err(VolumeError::Cancelled(partial)) => JobResult::Timeout {
+            message: cancel_message(cancel),
+            completed: partial.completed,
+            total: partial.total,
+        },
+        Err(e) => JobResult::Error {
+            message: e.to_string(),
+        },
+    }
+}
+
 /// Human-readable reason for a cancelled job.
 fn cancel_message(cancel: &CancelToken) -> String {
     if cancel.deadline_exceeded() {
@@ -372,8 +418,14 @@ fn run_job_inner(spec: &JobSpec, cancel: &CancelToken) -> JobResult {
             input,
             prompt,
             config,
+            checkpoint_dir,
+            resume,
         } => {
             let z = Zenesis::new(config.clone().unwrap_or_default());
+            let ckpt = checkpoint_dir.as_ref().map(|d| crate::checkpoint::CheckpointSpec {
+                dir: d.into(),
+                resume: *resume,
+            });
             match input {
                 InputSpec::PhantomVolume {
                     kind,
@@ -383,18 +435,11 @@ fn run_job_inner(spec: &JobSpec, cancel: &CancelToken) -> JobResult {
                     outlier_slices,
                 } => {
                     let v = generate_volume((*kind).into(), *side, *depth, *seed, outlier_slices);
-                    match z.segment_volume_cancellable(&v.volume, prompt, cancel) {
-                        Ok(r) => JobResult::Volume {
-                            depth: *depth,
-                            corrections: r.corrections(),
-                            per_slice_pixels: r.masks.iter().map(|m| m.count()).collect(),
-                        },
-                        Err(partial) => JobResult::Timeout {
-                            message: cancel_message(cancel),
-                            completed: partial.completed,
-                            total: partial.total,
-                        },
-                    }
+                    volume_result(
+                        z.segment_volume_resumable(&v.volume, prompt, cancel, ckpt.as_ref()),
+                        *depth,
+                        cancel,
+                    )
                 }
                 InputSpec::TiffVolumeFile { path } => {
                     let data = match std::fs::read(path) {
@@ -409,18 +454,11 @@ fn run_job_inner(spec: &JobSpec, cancel: &CancelToken) -> JobResult {
                         &data,
                         zenesis_image::VoxelSize::default(),
                     ) {
-                        Ok(vol) => match z.segment_volume_cancellable(&vol, prompt, cancel) {
-                            Ok(r) => JobResult::Volume {
-                                depth: vol.depth(),
-                                corrections: r.corrections(),
-                                per_slice_pixels: r.masks.iter().map(|m| m.count()).collect(),
-                            },
-                            Err(partial) => JobResult::Timeout {
-                                message: cancel_message(cancel),
-                                completed: partial.completed,
-                                total: partial.total,
-                            },
-                        },
+                        Ok(vol) => volume_result(
+                            z.segment_volume_resumable(&vol, prompt, cancel, ckpt.as_ref()),
+                            vol.depth(),
+                            cancel,
+                        ),
                         Err(e) => JobResult::Error {
                             message: format!("cannot read tiff volume {path:?}: {e}"),
                         },
@@ -512,6 +550,8 @@ mod tests {
             },
             prompt: "needle-like crystalline catalyst".into(),
             config: None,
+            checkpoint_dir: None,
+            resume: true,
         };
         match run_job(&spec) {
             JobResult::Volume {
@@ -586,6 +626,8 @@ mod tests {
             },
             prompt: "catalyst particles".into(),
             config: None,
+            checkpoint_dir: None,
+            resume: true,
         };
         match run_job(&spec) {
             JobResult::Volume {
@@ -629,6 +671,8 @@ mod tests {
             },
             prompt: "catalyst particles".into(),
             config: None,
+            checkpoint_dir: None,
+            resume: true,
         };
         match run_job(&spec) {
             JobResult::Error { message } => assert!(message.contains("depth"), "{message}"),
@@ -700,6 +744,8 @@ mod tests {
             },
             prompt: "catalyst particles".into(),
             config: None,
+            checkpoint_dir: None,
+            resume: true,
         };
         let cancel = CancelToken::with_deadline(std::time::Duration::ZERO);
         match run_job_with_cancel(&spec, &cancel) {

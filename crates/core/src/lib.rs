@@ -24,7 +24,10 @@
 //!   Otsu / SAM-only / Zenesis (Tables 1-3).
 //! * [`job`] — the serde JSON job contract a web UI submits ("no-code").
 //! * [`session`] — interactive session state with undo history.
+//! * [`checkpoint`] — the crash-safe per-slice journal behind Mode B's
+//!   checkpoint/resume (CRC-guarded JSONL, torn-tail tolerant).
 
+pub mod checkpoint;
 pub mod config;
 pub mod hierarchy;
 pub mod job;
@@ -36,8 +39,9 @@ pub mod rectify;
 pub mod session;
 pub mod temporal;
 
+pub use checkpoint::CheckpointSpec;
 pub use config::ZenesisConfig;
 pub use method::Method;
 pub use multi::{MultiResult, ObjectSpec};
-pub use pipeline::{SliceResult, Zenesis};
-pub use temporal::{TemporalConfig, VolumeCancelled, VolumeResult};
+pub use pipeline::{SliceError, SliceResult, Zenesis};
+pub use temporal::{SliceOutcome, TemporalConfig, VolumeCancelled, VolumeError, VolumeResult};

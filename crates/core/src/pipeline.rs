@@ -21,6 +21,49 @@ use zenesis_sam::{Polarity, PromptSet, Sam};
 
 use crate::config::ZenesisConfig;
 
+/// Why one slice failed the guarded (volume) pipeline. The plain
+/// [`Zenesis::segment_slice`] path is infallible; these arise only from
+/// [`Zenesis::try_segment_slice`], where quarantine needs a structured
+/// reason to journal and report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SliceError {
+    /// The adaptation cascade produced (or received) non-finite pixels.
+    Adapt(zenesis_adapt::AdaptError),
+    /// A downstream stage produced non-finite values.
+    NonFinite {
+        /// Pipeline stage that produced the values.
+        stage: String,
+        /// Number of non-finite values observed.
+        count: usize,
+    },
+    /// An armed fault-injection site fired (tests and chaos drills).
+    Injected {
+        /// The fault site that fired.
+        site: &'static str,
+    },
+}
+
+impl std::fmt::Display for SliceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SliceError::Adapt(e) => write!(f, "adapt: {e}"),
+            SliceError::NonFinite { stage, count } => {
+                write!(f, "{count} non-finite values after stage {stage}")
+            }
+            SliceError::Injected { site } => write!(f, "injected fault at {site}"),
+        }
+    }
+}
+
+impl std::error::Error for SliceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SliceError::Adapt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 /// Stage timings and provenance of one slice run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PipelineTrace {
@@ -101,7 +144,28 @@ impl Zenesis {
         let ((adapted, adapt_stages), adapt_ms) =
             zenesis_obs::timed("pipeline.adapt", || self.adapt(raw));
         zenesis_obs::record_ms("pipeline.adapt.lat", adapt_ms);
-        self.segment_adapted_with(Arc::new(adapted), adapt_stages, adapt_ms, prompt)
+        match self.segment_adapted_inner(Arc::new(adapted), adapt_stages, adapt_ms, prompt, false) {
+            Ok(r) => r,
+            Err(_) => unreachable!("the unguarded pipeline is infallible"),
+        }
+    }
+
+    /// Guarded pipeline for the fault-tolerant volume path: every stage
+    /// boundary is checked for non-finite values and armed fault sites
+    /// ([`zenesis_fault`]) may fire. Identical output to
+    /// [`Zenesis::segment_slice`] on healthy input with no faults armed.
+    pub fn try_segment_slice<T: Pixel>(
+        &self,
+        raw: &Image<T>,
+        prompt: &str,
+    ) -> Result<SliceResult, SliceError> {
+        let _root = zenesis_obs::span("pipeline.segment_slice");
+        let (adapt_res, adapt_ms) = zenesis_obs::timed("pipeline.adapt", || {
+            self.config.adapt.run_traced_checked(&raw.to_f32())
+        });
+        let (adapted, adapt_stages) = adapt_res.map_err(SliceError::Adapt)?;
+        zenesis_obs::record_ms("pipeline.adapt.lat", adapt_ms);
+        self.segment_adapted_inner(Arc::new(adapted), adapt_stages, adapt_ms, prompt, true)
     }
 
     /// Pipeline on an already-adapted image (Mode A re-prompting reuses
@@ -113,17 +177,31 @@ impl Zenesis {
             zenesis_obs::counter("core.adapt_reuse.bytes_saved")
                 .add((adapted.len() * std::mem::size_of::<f32>()) as u64);
         }
-        self.segment_adapted_with(Arc::clone(adapted), Vec::new(), 0.0, prompt)
+        match self.segment_adapted_inner(Arc::clone(adapted), Vec::new(), 0.0, prompt, false) {
+            Ok(r) => r,
+            Err(_) => unreachable!("the unguarded pipeline is infallible"),
+        }
     }
 
-    fn segment_adapted_with(
+    /// Shared tail of the pipeline. With `guards` off (the interactive
+    /// paths) this is infallible and checks nothing — zero overhead over
+    /// the pre-guard implementation. With `guards` on (the volume path)
+    /// fault sites `ground.dino` / `sam.decode` may trip and stage
+    /// outputs are screened for non-finite values.
+    fn segment_adapted_inner(
         &self,
         adapted: Arc<Image<f32>>,
         adapt_stages: Vec<AdaptTrace>,
         adapt_ms: f64,
         prompt: &str,
-    ) -> SliceResult {
+        guards: bool,
+    ) -> Result<SliceResult, SliceError> {
         let (w, h) = adapted.dims();
+        if guards && zenesis_fault::trip("ground.dino").is_some() {
+            return Err(SliceError::Injected {
+                site: "ground.dino",
+            });
+        }
         // Grounding and the SAM image encoding are independent; fork-join
         // overlaps them (SAM's design point: encode once, decode many).
         let ((grounding, emb), ground_ms) = zenesis_obs::timed("pipeline.ground", || {
@@ -133,6 +211,9 @@ impl Zenesis {
             )
         });
         zenesis_obs::record_ms("pipeline.ground.lat", ground_ms);
+        if guards && zenesis_fault::trip("sam.decode").is_some() {
+            return Err(SliceError::Injected { site: "sam.decode" });
+        }
 
         let ((masks, combined), segment_ms) = zenesis_obs::timed("pipeline.segment", || {
             let polarity = if grounding.dark_polarity {
@@ -170,7 +251,16 @@ impl Zenesis {
         zenesis_obs::record_ms("pipeline.total.lat", adapt_ms + ground_ms + segment_ms);
 
         let relevance = grounding.relevance_full(w, h);
-        SliceResult {
+        if guards {
+            let bad = relevance.as_slice().iter().filter(|v| !v.is_finite()).count();
+            if bad > 0 {
+                return Err(SliceError::NonFinite {
+                    stage: "ground.relevance".into(),
+                    count: bad,
+                });
+            }
+        }
+        Ok(SliceResult {
             adapted,
             masks,
             combined,
@@ -185,7 +275,7 @@ impl Zenesis {
                 n_detections: grounding.detections.len(),
             },
             detections: grounding.detections,
-        }
+        })
     }
 }
 

@@ -6,14 +6,17 @@
 //! ensuring temporal consistency and mitigating artifacts due to sudden
 //! changes in appearance or GroundingDINO failures."
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
+use zenesis_adapt::AdaptPipeline;
 use zenesis_image::{BitMask, BoxRegion, Image, Pixel, Volume};
 use zenesis_par::CancelToken;
 use zenesis_sam::{MemoryBank, PromptSet};
 
-use crate::pipeline::{SliceResult, Zenesis};
+use crate::checkpoint::{self, CheckpointSpec, Replay};
+use crate::pipeline::{PipelineTrace, SliceResult, Zenesis};
 
 /// Temporal refinement parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -51,6 +54,75 @@ pub struct SliceBoxEvent {
     pub corrected: bool,
 }
 
+/// How one slice of a volume fared through the fault-tolerant pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SliceOutcome {
+    /// The primary pipeline (possibly after one retry) produced the slice.
+    Ok,
+    /// The primary pipeline failed; a fallback (Otsu baseline, or the
+    /// stage-1 mask when stage-3 decode failed) stands in for this slice.
+    Degraded {
+        /// Why the primary path was abandoned.
+        reason: String,
+    },
+    /// Both the primary pipeline and the fallback failed; the slice's
+    /// mask is empty.
+    Failed {
+        /// Why nothing could be produced.
+        reason: String,
+    },
+}
+
+impl SliceOutcome {
+    /// The primary pipeline produced this slice.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, SliceOutcome::Ok)
+    }
+
+    /// A fallback stands in for this slice.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, SliceOutcome::Degraded { .. })
+    }
+
+    /// Nothing could be produced for this slice.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, SliceOutcome::Failed { .. })
+    }
+}
+
+/// A volume run could not complete.
+#[derive(Debug)]
+pub enum VolumeError {
+    /// Cancelled by deadline or explicit stop (carries partial progress).
+    Cancelled(VolumeCancelled),
+    /// More than half the slices failed outright — the volume result
+    /// would be garbage, so the run aborts instead of degrading further.
+    TooManyFailures {
+        /// Slices whose primary pipeline *and* fallback both failed.
+        failed: usize,
+        /// Slices in the volume.
+        total: usize,
+    },
+    /// The checkpoint journal could not be opened.
+    Checkpoint(String),
+}
+
+impl std::fmt::Display for VolumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VolumeError::Cancelled(c) => {
+                write!(f, "cancelled after {}/{} slices", c.completed, c.total)
+            }
+            VolumeError::TooManyFailures { failed, total } => {
+                write!(f, "volume abandoned: {failed}/{total} slices failed")
+            }
+            VolumeError::Checkpoint(msg) => write!(f, "checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VolumeError {}
+
 /// A volume run was cancelled (deadline or explicit stop) before every
 /// slice finished; carries the partial progress for the timeout result.
 #[derive(Debug)]
@@ -73,12 +145,35 @@ pub struct VolumeResult {
     pub slices: Vec<SliceResult>,
     /// What the temporal heuristic did per slice.
     pub events: Vec<SliceBoxEvent>,
+    /// Per-slice health: which slices came from the primary pipeline,
+    /// which from a fallback, and which produced nothing.
+    pub outcomes: Vec<SliceOutcome>,
 }
 
 impl VolumeResult {
     /// Number of slices whose box was corrected.
     pub fn corrections(&self) -> usize {
         self.events.iter().filter(|e| e.corrected).count()
+    }
+
+    /// Indices of slices served by a fallback.
+    pub fn degraded_slices(&self) -> Vec<usize> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_degraded())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of slices that produced nothing (empty mask).
+    pub fn failed_slices(&self) -> Vec<usize> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_failed())
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Volumetric evaluation against per-slice ground truth: pooled 3-D
@@ -170,6 +265,30 @@ pub fn refine_boxes(raw: &[Option<BoxRegion>], cfg: &TemporalConfig) -> RefinedB
     (used, events, dims)
 }
 
+/// Human-readable message out of a caught panic payload.
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A zeroed trace for fallback / replayed slices (no stages ran).
+fn empty_trace() -> PipelineTrace {
+    PipelineTrace {
+        adapt_ms: 0.0,
+        ground_ms: 0.0,
+        segment_ms: 0.0,
+        total_ms: 0.0,
+        adapt_stages: Vec::new(),
+        tokens: Vec::new(),
+        n_detections: 0,
+    }
+}
+
 impl Zenesis {
     /// Mode B batch processing of a volume with temporal refinement.
     ///
@@ -180,62 +299,118 @@ impl Zenesis {
     /// with the refined box of each slice seeding the cold start.
     pub fn segment_volume<T: Pixel>(&self, vol: &Volume<T>, prompt: &str) -> VolumeResult {
         self.segment_volume_cancellable(vol, prompt, &CancelToken::new())
-            .expect("a fresh token never cancels")
+            .expect("a fresh token never cancels and a healthy volume never aborts")
     }
 
     /// [`Zenesis::segment_volume`] with cooperative cancellation: the
     /// per-slice pipeline loop (stage 1) and the mask-decoding loop
     /// (stage 3) poll `cancel` before each slice, so a deadline or an
-    /// explicit stop yields [`VolumeCancelled`] with the completed
+    /// explicit stop yields [`VolumeError::Cancelled`] with the completed
     /// slices' pixel counts instead of running the whole volume.
     pub fn segment_volume_cancellable<T: Pixel>(
         &self,
         vol: &Volume<T>,
         prompt: &str,
         cancel: &CancelToken,
-    ) -> Result<VolumeResult, VolumeCancelled> {
+    ) -> Result<VolumeResult, VolumeError> {
+        self.segment_volume_resumable(vol, prompt, cancel, None)
+    }
+
+    /// The full fault-tolerant Mode B entry point: cancellation, per-slice
+    /// quarantine with baseline fallback, and (when `checkpoint` is given)
+    /// a crash-safe journal that makes a killed run resumable without
+    /// recomputing finished slices. With no faults armed and no journal to
+    /// replay this produces output bit-identical to the plain pipeline.
+    pub fn segment_volume_resumable<T: Pixel>(
+        &self,
+        vol: &Volume<T>,
+        prompt: &str,
+        cancel: &CancelToken,
+        checkpoint: Option<&CheckpointSpec>,
+    ) -> Result<VolumeResult, VolumeError> {
         let _root = zenesis_obs::span("pipeline.segment_volume");
         let depth = vol.depth();
+        let (journal, replay) = match checkpoint {
+            Some(spec) => {
+                let config_json = serde_json::to_string(&self.config)
+                    .map_err(|e| VolumeError::Checkpoint(format!("config fingerprint: {e}")))?;
+                let (w, h) = vol.slice(0).dims();
+                let header = checkpoint::Header::new(depth, w, h, prompt, &config_json);
+                let opened = checkpoint::Journal::open(&spec.dir, &header, spec.resume)
+                    .map_err(|e| {
+                        VolumeError::Checkpoint(format!(
+                            "cannot open journal in {}: {e}",
+                            spec.dir.display()
+                        ))
+                    })?;
+                (Some(opened.journal), opened.replay)
+            }
+            None => (None, Replay::default()),
+        };
         // Stage 1: per-slice pipeline (parallel over slices). Workers
         // tick a shared progress counter and, when recording, emit one
         // `slice.done` event with per-slice latency, throughput, and ETA
         // — the live-telemetry feed for long Mode B batches. The timing
         // clock and mask count are only computed when recording, so
-        // `ZENESIS_OBS=off` adds a single atomic add per slice.
+        // `ZENESIS_OBS=off` adds a single atomic add per slice. Slices
+        // found in the checkpoint journal skip the pipeline entirely.
         let progress = zenesis_par::Progress::new(depth);
-        let maybe_slices: Vec<Option<SliceResult>> = zenesis_par::par_map_range(depth, |z| {
-            if cancel.is_cancelled() {
-                return None;
-            }
-            let t0 = zenesis_obs::enabled().then(std::time::Instant::now);
-            let r = self.segment_slice(vol.slice(z), prompt);
-            progress.tick();
-            if let Some(t0) = t0 {
-                zenesis_obs::events::emit(zenesis_obs::events::Event::SliceDone {
-                    index: z,
-                    done: progress.done_clamped(),
-                    total: depth,
-                    lat_ms: t0.elapsed().as_secs_f64() * 1e3,
-                    mask_pixels: r.combined.count() as u64,
-                    rate: progress.rate(),
-                    eta_s: progress.eta_secs(),
-                });
-            }
-            Some(r)
-        });
+        let maybe_slices: Vec<Option<(SliceResult, SliceOutcome)>> =
+            zenesis_par::par_map_range(depth, |z| {
+                if cancel.is_cancelled() {
+                    return None;
+                }
+                if let Some(rep) = replay.slices.get(&z) {
+                    let pair = self.reconstruct_slice(vol.slice(z), rep);
+                    progress.tick();
+                    return Some(pair);
+                }
+                let t0 = zenesis_obs::enabled().then(std::time::Instant::now);
+                let (r, outcome) = self.run_slice_guarded(vol.slice(z), z, prompt, cancel)?;
+                if let Some(j) = &journal {
+                    j.record_slice(z, &outcome, &r.detections, &r.combined);
+                }
+                progress.tick();
+                if let Some(t0) = t0 {
+                    zenesis_obs::events::emit(zenesis_obs::events::Event::SliceDone {
+                        index: z,
+                        done: progress.done_clamped(),
+                        total: depth,
+                        lat_ms: t0.elapsed().as_secs_f64() * 1e3,
+                        mask_pixels: r.combined.count() as u64,
+                        rate: progress.rate(),
+                        eta_s: progress.eta_secs(),
+                    });
+                }
+                Some((r, outcome))
+            });
         if maybe_slices.iter().any(|s| s.is_none()) {
             let per_slice_pixels: Vec<usize> = maybe_slices
                 .iter()
                 .flatten()
-                .map(|s| s.combined.count())
+                .map(|(s, _)| s.combined.count())
                 .collect();
-            return Err(VolumeCancelled {
+            return Err(VolumeError::Cancelled(VolumeCancelled {
                 completed: per_slice_pixels.len(),
                 total: depth,
                 per_slice_pixels,
+            }));
+        }
+        let (slices, mut outcomes): (Vec<SliceResult>, Vec<SliceOutcome>) =
+            maybe_slices.into_iter().flatten().unzip();
+        // Graceful degradation has a floor: a volume where most slices
+        // produced nothing is not a result, it is a lie with a mask
+        // format. Abort rather than hand back mostly-empty garbage.
+        let failed = outcomes.iter().filter(|o| o.is_failed()).count();
+        if failed * 2 > depth {
+            zenesis_obs::events::warn(format!(
+                "volume abandoned: {failed}/{depth} slices failed"
+            ));
+            return Err(VolumeError::TooManyFailures {
+                failed,
+                total: depth,
             });
         }
-        let slices: Vec<SliceResult> = maybe_slices.into_iter().flatten().collect();
         // Stage 2: temporal refinement over the primary (highest-score)
         // boxes.
         let refine_span = zenesis_obs::span("temporal.refine");
@@ -256,9 +431,14 @@ impl Zenesis {
         // Stage 3: decode masks with the refined primary box plus the
         // secondary (non-primary) boxes that pass the same size screen.
         // The same cancellation checkpoint guards each decode: a deadline
-        // that fires mid-decode still returns promptly.
+        // that fires mid-decode still returns promptly. A decode that
+        // panics or trips a fault keeps the slice's stage-1 mask instead
+        // (Otsu fallback for degraded slices, empty for failed ones).
         let _decode = zenesis_obs::span("temporal.decode");
-        let maybe_masks: Vec<Option<BitMask>> = if self.config.use_memory {
+        let maybe_masks: Vec<Option<(BitMask, bool)>> = if self.config.use_memory {
+            // The memory bank is sequential and stateful, so replayed
+            // masks are not shortcut here: every slice re-propagates to
+            // keep the bank's warm state identical to an unbroken run.
             let mut bank = MemoryBank::new(self.config.temporal.window.max(1));
             let mut out = Vec::with_capacity(depth);
             for z in 0..depth {
@@ -269,10 +449,28 @@ impl Zenesis {
                 // Arc clone: shares the adapted pixels with the slice result.
                 let adapted = Arc::clone(&slices[z].adapted);
                 let used_box = used[z];
-                let mask = bank.propagate(self.sam(), &adapted, || {
-                    self.decode_with_box(&adapted, used_box, &slices[z], window_dims[z])
+                let decoded = zenesis_fault::with_unit(z as u64, || {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        bank.propagate(self.sam(), &adapted, || {
+                            if outcomes[z].is_failed()
+                                || (!outcomes[z].is_ok() && used_box.is_none())
+                            {
+                                // Seed the bank with the fallback mask so
+                                // temporal continuity survives the gap.
+                                slices[z].combined.clone()
+                            } else {
+                                self.decode_with_box(&adapted, used_box, &slices[z], window_dims[z])
+                            }
+                        })
+                    }))
                 });
-                out.push(Some(mask));
+                out.push(Some(match decoded {
+                    Ok(mask) => (mask, false),
+                    Err(p) => {
+                        self.report_decode_degraded(z, &panic_message(p));
+                        (slices[z].combined.clone(), true)
+                    }
+                }));
             }
             out
         } else {
@@ -280,26 +478,245 @@ impl Zenesis {
                 if cancel.is_cancelled() {
                     return None;
                 }
-                Some(self.decode_with_box(&slices[z].adapted, used[z], &slices[z], window_dims[z]))
+                if let Some(rep) = replay.masks.get(&z) {
+                    return Some((rep.mask.clone(), rep.degraded_by_decode));
+                }
+                let (mask, degraded) =
+                    self.decode_slice_guarded(z, &slices[z], &outcomes[z], used[z], window_dims[z]);
+                if let Some(j) = &journal {
+                    j.record_mask(z, &mask, degraded);
+                }
+                Some((mask, degraded))
             })
         };
         if maybe_masks.iter().any(|m| m.is_none()) {
             let per_slice_pixels: Vec<usize> = maybe_masks
                 .iter()
                 .flatten()
-                .map(|m| m.count())
+                .map(|(m, _)| m.count())
                 .collect();
-            return Err(VolumeCancelled {
+            return Err(VolumeError::Cancelled(VolumeCancelled {
                 completed: per_slice_pixels.len(),
                 total: depth,
                 per_slice_pixels,
-            });
+            }));
+        }
+        let mut masks = Vec::with_capacity(depth);
+        for (z, (mask, degraded_by_decode)) in maybe_masks.into_iter().flatten().enumerate() {
+            if degraded_by_decode && outcomes[z].is_ok() {
+                outcomes[z] = SliceOutcome::Degraded {
+                    reason: "mask decode failed; stage-1 mask used".into(),
+                };
+            }
+            masks.push(mask);
         }
         Ok(VolumeResult {
-            masks: maybe_masks.into_iter().flatten().collect(),
+            masks,
             slices,
             events,
+            outcomes,
         })
+    }
+
+    /// Stage 1 with quarantine: try the primary pipeline (panics and
+    /// structured errors both caught), retry once, then fall back to the
+    /// Otsu baseline on a sanitized minimally-adapted slice. Returns
+    /// `None` only when `cancel` fired (the slice counts as unreached).
+    fn run_slice_guarded<T: Pixel>(
+        &self,
+        raw: &Image<T>,
+        z: usize,
+        prompt: &str,
+        cancel: &CancelToken,
+    ) -> Option<(SliceResult, SliceOutcome)> {
+        zenesis_fault::with_unit(z as u64, || {
+            let _ = zenesis_fault::trip("slice.slow"); // latency-only site
+            let mut reason = String::new();
+            for attempt in 0..2 {
+                match catch_unwind(AssertUnwindSafe(|| self.try_segment_slice(raw, prompt))) {
+                    Ok(Ok(r)) => return Some((r, SliceOutcome::Ok)),
+                    Ok(Err(e)) => reason = e.to_string(),
+                    Err(p) => reason = format!("panic: {}", panic_message(p)),
+                }
+                if attempt == 0 {
+                    zenesis_obs::counter("slice.quarantined").inc();
+                    zenesis_obs::events::emit(zenesis_obs::events::Event::SliceQuarantined {
+                        slice: z,
+                        reason: reason.clone(),
+                    });
+                    // A deadline that fires during quarantine beats the
+                    // retry/fallback budget: report unreached, not failed.
+                    if cancel.is_cancelled() {
+                        return None;
+                    }
+                }
+            }
+            if cancel.is_cancelled() {
+                return None;
+            }
+            let (result, outcome) = match catch_unwind(AssertUnwindSafe(|| {
+                self.otsu_fallback(raw)
+            })) {
+                Ok((r, None)) => {
+                    let why = format!("primary pipeline failed ({reason}); otsu fallback");
+                    (r, SliceOutcome::Degraded { reason: why })
+                }
+                Ok((r, Some(degenerate))) => {
+                    let why = format!(
+                        "primary pipeline failed ({reason}); otsu fallback degenerate: {degenerate}"
+                    );
+                    (r, SliceOutcome::Failed { reason: why })
+                }
+                Err(p) => {
+                    let why = format!(
+                        "primary pipeline failed ({reason}); otsu fallback panicked: {}",
+                        panic_message(p)
+                    );
+                    (self.empty_slice_result(raw), SliceOutcome::Failed { reason: why })
+                }
+            };
+            match &outcome {
+                SliceOutcome::Degraded { reason } => {
+                    zenesis_obs::counter("slice.degraded").inc();
+                    zenesis_obs::events::emit(zenesis_obs::events::Event::SliceDegraded {
+                        slice: z,
+                        reason: reason.clone(),
+                    });
+                }
+                SliceOutcome::Failed { reason } => {
+                    zenesis_obs::counter("slice.failed").inc();
+                    zenesis_obs::events::emit(zenesis_obs::events::Event::SliceFailed {
+                        slice: z,
+                        reason: reason.clone(),
+                    });
+                }
+                SliceOutcome::Ok => unreachable!("fallback never reports Ok"),
+            }
+            Some((result, outcome))
+        })
+    }
+
+    /// The quarantine fallback: sanitize non-finite pixels, run the
+    /// minimal adaptation, threshold with the Otsu baseline. Returns the
+    /// degenerate-histogram reason when even Otsu has nothing to offer.
+    fn otsu_fallback<T: Pixel>(
+        &self,
+        raw: &Image<T>,
+    ) -> (SliceResult, Option<zenesis_baseline::OtsuDegenerate>) {
+        let adapted = self.sanitized_minimal_adapt(raw);
+        let (combined, degenerate) = match zenesis_baseline::try_segment_otsu(&adapted) {
+            Ok(mask) => (mask, None),
+            Err(d) => {
+                let (w, h) = adapted.dims();
+                (BitMask::new(w, h), Some(d))
+            }
+        };
+        (self.synthesized_result(adapted, combined), degenerate)
+    }
+
+    /// An empty stand-in result for a slice nothing could segment.
+    fn empty_slice_result<T: Pixel>(&self, raw: &Image<T>) -> SliceResult {
+        let adapted = self.sanitized_minimal_adapt(raw);
+        let (w, h) = adapted.dims();
+        self.synthesized_result(adapted, BitMask::new(w, h))
+    }
+
+    /// Minimal adaptation with non-finite pixels zeroed first — the
+    /// primary cascade may be exactly what failed, so the fallback uses
+    /// the cheapest robust path instead.
+    fn sanitized_minimal_adapt<T: Pixel>(&self, raw: &Image<T>) -> Image<f32> {
+        let mut img = raw.to_f32();
+        for v in img.as_mut_slice() {
+            if !v.is_finite() {
+                *v = 0.0;
+            }
+        }
+        AdaptPipeline::minimal().run(&img)
+    }
+
+    /// Wrap an adapted image + mask as a [`SliceResult`] with no
+    /// detections and a zeroed trace (fallbacks have no grounding).
+    fn synthesized_result(&self, adapted: Image<f32>, combined: BitMask) -> SliceResult {
+        let (w, h) = adapted.dims();
+        SliceResult {
+            adapted: Arc::new(adapted),
+            detections: Vec::new(),
+            masks: Vec::new(),
+            combined,
+            relevance: Image::zeros(w, h),
+            trace: empty_trace(),
+        }
+    }
+
+    /// Rebuild a stage-1 slice result from its journal record. Healthy
+    /// slices re-run the (deterministic) adaptation so stage 3 decodes
+    /// from identical pixels; quarantined slices rebuild the fallback
+    /// adaptation the same way.
+    fn reconstruct_slice<T: Pixel>(
+        &self,
+        raw: &Image<T>,
+        rep: &checkpoint::ReplaySlice,
+    ) -> (SliceResult, SliceOutcome) {
+        let adapted = match rep.outcome {
+            SliceOutcome::Ok => self.config.adapt.run(&raw.to_f32()),
+            _ => self.sanitized_minimal_adapt(raw),
+        };
+        let (w, h) = adapted.dims();
+        (
+            SliceResult {
+                adapted: Arc::new(adapted),
+                detections: rep.detections.clone(),
+                masks: Vec::new(),
+                combined: rep.combined.clone(),
+                relevance: Image::zeros(w, h),
+                trace: empty_trace(),
+            },
+            rep.outcome.clone(),
+        )
+    }
+
+    /// Stage 3 with quarantine: decode with two attempts (panics and the
+    /// `sam.decode` fault site caught); on failure keep the stage-1 mask
+    /// and flag the slice degraded. Failed slices and degraded slices
+    /// with no temporal rescue box skip decode and keep their stage-1
+    /// mask outright.
+    fn decode_slice_guarded(
+        &self,
+        z: usize,
+        slice: &SliceResult,
+        outcome: &SliceOutcome,
+        primary: Option<BoxRegion>,
+        window_dims: Option<(f64, f64)>,
+    ) -> (BitMask, bool) {
+        if outcome.is_failed() || (!outcome.is_ok() && primary.is_none()) {
+            return (slice.combined.clone(), false);
+        }
+        zenesis_fault::with_unit(z as u64, || {
+            let mut reason = String::new();
+            for _attempt in 0..2 {
+                let decoded = catch_unwind(AssertUnwindSafe(|| {
+                    if zenesis_fault::trip("sam.decode").is_some() {
+                        return Err("injected fault at sam.decode".to_string());
+                    }
+                    Ok(self.decode_with_box(&slice.adapted, primary, slice, window_dims))
+                }));
+                match decoded {
+                    Ok(Ok(m)) => return (m, false),
+                    Ok(Err(e)) => reason = e,
+                    Err(p) => reason = format!("panic: {}", panic_message(p)),
+                }
+            }
+            self.report_decode_degraded(z, &reason);
+            (slice.combined.clone(), true)
+        })
+    }
+
+    fn report_decode_degraded(&self, z: usize, reason: &str) {
+        zenesis_obs::counter("slice.degraded").inc();
+        zenesis_obs::events::emit(zenesis_obs::events::Event::SliceDegraded {
+            slice: z,
+            reason: format!("mask decode failed ({reason}); kept stage-1 mask"),
+        });
     }
 
     /// Decode a slice using a refined primary box (if any) together with

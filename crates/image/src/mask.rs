@@ -71,6 +71,33 @@ impl BitMask {
         Self::from_fn(width, height, |x, y| r.contains(Point::new(x, y)))
     }
 
+    /// The packed 64-bit words, row-major (serialization — the checkpoint
+    /// journal encodes masks word-for-word).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild a mask from its packed words (inverse of [`words`](Self::words)).
+    ///
+    /// `words.len()` must match the packed length for the dimensions; tail
+    /// bits beyond `width * height` are cleared, so round-trips are exact
+    /// even if the source was sloppy about them.
+    pub fn from_words(width: usize, height: usize, words: Vec<u64>) -> Self {
+        assert!(width > 0 && height > 0, "mask dimensions must be non-zero");
+        assert_eq!(
+            words.len(),
+            (width * height).div_ceil(64),
+            "word count must match dimensions"
+        );
+        let mut m = BitMask {
+            width,
+            height,
+            words,
+        };
+        m.clear_tail();
+        m
+    }
+
     #[inline]
     pub fn width(&self) -> usize {
         self.width

@@ -135,6 +135,58 @@ pub enum Event {
         /// Cache name (e.g. `sam.embed`).
         cache: Cow<'static, str>,
     },
+    /// A fault-injection site fired (`zenesis-fault`, armed runs only).
+    FaultInjected {
+        /// Site name (e.g. `sam.decode`).
+        site: String,
+        /// Fault kind (`error` | `panic` | `nan` | `slow`).
+        kind: Cow<'static, str>,
+        /// Deterministic unit index (slice) the fault was keyed on.
+        unit: u64,
+    },
+    /// A slice failed its primary pipeline and entered quarantine
+    /// (retry, then baseline fallback).
+    SliceQuarantined {
+        /// Slice index within the volume.
+        slice: usize,
+        /// Why the primary attempt failed.
+        reason: String,
+    },
+    /// A quarantined slice completed via the degraded (fallback) path.
+    SliceDegraded {
+        /// Slice index within the volume.
+        slice: usize,
+        /// Why the slice was degraded.
+        reason: String,
+    },
+    /// A quarantined slice failed even its fallback.
+    SliceFailed {
+        /// Slice index within the volume.
+        slice: usize,
+        /// Why the fallback failed too.
+        reason: String,
+    },
+    /// A checkpoint journal record was durably written.
+    CheckpointWrite {
+        /// Slice index the record covers.
+        slice: usize,
+        /// Record kind (`header` | `slice` | `mask`).
+        record: Cow<'static, str>,
+    },
+    /// A resumed run replayed completed work from the journal.
+    CheckpointReplay {
+        /// Number of stage-1 slice records replayed.
+        slices: usize,
+        /// Number of final mask records replayed.
+        masks: usize,
+    },
+    /// The journal ended in a torn/corrupt record, which was discarded.
+    CheckpointCorruptTail {
+        /// Valid records kept before the corrupt tail.
+        kept: usize,
+        /// Why the tail record was rejected.
+        reason: String,
+    },
     /// A warning worth surfacing in the event stream.
     Warn {
         /// Human-readable message.
@@ -163,6 +215,13 @@ impl Event {
             Event::RectifyPick { .. } => "rectify.pick",
             Event::CacheHit { .. } => "cache.hit",
             Event::CacheMiss { .. } => "cache.miss",
+            Event::FaultInjected { .. } => "fault.injected",
+            Event::SliceQuarantined { .. } => "slice.quarantined",
+            Event::SliceDegraded { .. } => "slice.degraded",
+            Event::SliceFailed { .. } => "slice.failed",
+            Event::CheckpointWrite { .. } => "checkpoint.write",
+            Event::CheckpointReplay { .. } => "checkpoint.replay",
+            Event::CheckpointCorruptTail { .. } => "checkpoint.corrupt_tail",
             Event::Warn { .. } => "warn",
             Event::Info { .. } => "info",
         }
@@ -353,6 +412,29 @@ pub fn event_json(rec: &EventRecord) -> Value {
         }
         Event::CacheHit { cache } | Event::CacheMiss { cache } => {
             field(&mut m, "cache", Value::String(cache.to_string()));
+        }
+        Event::FaultInjected { site, kind, unit } => {
+            field(&mut m, "site", Value::String(site.clone()));
+            field(&mut m, "kind", Value::String(kind.to_string()));
+            field(&mut m, "unit", Value::Number(Number::U(*unit)));
+        }
+        Event::SliceQuarantined { slice, reason }
+        | Event::SliceDegraded { slice, reason }
+        | Event::SliceFailed { slice, reason } => {
+            field(&mut m, "slice", Value::Number(Number::U(*slice as u64)));
+            field(&mut m, "reason", Value::String(reason.clone()));
+        }
+        Event::CheckpointWrite { slice, record } => {
+            field(&mut m, "slice", Value::Number(Number::U(*slice as u64)));
+            field(&mut m, "record", Value::String(record.to_string()));
+        }
+        Event::CheckpointReplay { slices, masks } => {
+            field(&mut m, "slices", Value::Number(Number::U(*slices as u64)));
+            field(&mut m, "masks", Value::Number(Number::U(*masks as u64)));
+        }
+        Event::CheckpointCorruptTail { kept, reason } => {
+            field(&mut m, "kept", Value::Number(Number::U(*kept as u64)));
+            field(&mut m, "reason", Value::String(reason.clone()));
         }
         Event::Warn { message } | Event::Info { message } => {
             field(&mut m, "message", Value::String(message.clone()));

@@ -54,6 +54,7 @@ mod config;
 pub mod events;
 pub mod export;
 mod metrics;
+pub mod output;
 mod span;
 
 pub use config::{enabled, full, level, set_level, ObsLevel};

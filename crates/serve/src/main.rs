@@ -55,7 +55,7 @@ impl ObsSinks {
             if dropped > 0 {
                 eprintln!("event buffer overflowed; {dropped} oldest events dropped");
             }
-            match std::fs::write(path, zenesis_obs::events::events_jsonl()) {
+            match zenesis_obs::output::write_atomic(path, zenesis_obs::events::events_jsonl()) {
                 Ok(()) => eprintln!("event stream written to {path}"),
                 Err(e) => eprintln!("failed to write events {path}: {e}"),
             }
@@ -69,7 +69,7 @@ impl ObsSinks {
                 self.started.elapsed().as_secs_f64(),
                 Vec::new(),
             );
-            match std::fs::write(path, ledger.to_json()) {
+            match zenesis_obs::output::write_atomic(path, ledger.to_json()) {
                 Ok(()) => eprintln!("run ledger written to {path}"),
                 Err(e) => eprintln!("failed to write ledger {path}: {e}"),
             }

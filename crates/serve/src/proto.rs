@@ -150,6 +150,44 @@ mod tests {
     }
 
     #[test]
+    fn batch_spec_carries_checkpoint_fields_through_the_wire() {
+        // The checkpoint/resume contract is plain JobSpec serde, so an
+        // envelope-wrapped batch spec with `checkpoint_dir` + `resume`
+        // must survive parsing; `resume` defaults to true when omitted.
+        let batch = r#"{"mode": "batch",
+            "input": {"source": "phantom_volume", "kind": "amorphous", "seed": 3, "depth": 4},
+            "prompt": "bright particles",
+            "checkpoint_dir": "/tmp/ckpt", "resume": false}"#;
+        let line = format!(r#"{{"id": 1, "spec": {batch}}}"#);
+        let req = parse_request(&line, 0).unwrap();
+        match req.spec {
+            JobSpec::Batch {
+                checkpoint_dir,
+                resume,
+                ..
+            } => {
+                assert_eq!(checkpoint_dir.as_deref(), Some("/tmp/ckpt"));
+                assert!(!resume);
+            }
+            other => panic!("unexpected spec {other:?}"),
+        }
+        let bare = r#"{"mode": "batch",
+            "input": {"source": "phantom_volume", "kind": "amorphous", "seed": 3, "depth": 4},
+            "prompt": "bright particles"}"#;
+        match parse_request(bare, 0).unwrap().spec {
+            JobSpec::Batch {
+                checkpoint_dir,
+                resume,
+                ..
+            } => {
+                assert_eq!(checkpoint_dir, None);
+                assert!(resume, "resume defaults to true");
+            }
+            other => panic!("unexpected spec {other:?}"),
+        }
+    }
+
+    #[test]
     fn malformed_lines_are_errors_not_panics() {
         assert!(parse_request("{not json", 1).is_err());
         assert!(parse_request(r#"{"spec": {"mode": "nope"}}"#, 1).is_err());
@@ -210,7 +248,9 @@ mod tests {
             mk(JobResult::Volume {
                 depth: 1,
                 corrections: 0,
-                per_slice_pixels: vec![9]
+                per_slice_pixels: vec![9],
+                degraded: vec![],
+                failed: vec![]
             })
             .status(),
             "ok"

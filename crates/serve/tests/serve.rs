@@ -25,6 +25,8 @@ fn ok_result() -> JobResult {
         depth: 1,
         corrections: 0,
         per_slice_pixels: vec![1],
+        degraded: vec![],
+        failed: vec![],
     }
 }
 

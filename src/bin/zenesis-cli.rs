@@ -43,6 +43,12 @@
 //! return a `timeout` result carrying partial-progress counts instead of
 //! running past it. For serving many jobs under deadlines concurrently,
 //! see `zenesis-serve` (`docs/SERVING.md`).
+//!
+//! `--checkpoint-dir <dir>` makes batch (Mode B) jobs crash-safe: every
+//! finished slice is journaled, and re-running the same job with the same
+//! directory resumes where the previous run died, producing identical
+//! final results. `--no-resume` discards an existing journal instead.
+//! See `docs/ROBUSTNESS.md`.
 
 use std::io::Read;
 use std::time::{Duration, Instant};
@@ -88,6 +94,8 @@ fn examples() -> Vec<(&'static str, JobSpec)> {
                 },
                 prompt: "catalyst particles".into(),
                 config: None,
+                checkpoint_dir: None,
+                resume: true,
             },
         ),
         (
@@ -118,7 +126,9 @@ struct ObsSinks {
 
 impl ObsSinks {
     /// Write every requested sink. `job_text` fingerprints the ledger:
-    /// the job spec JSON *is* the configuration of a CLI run.
+    /// the job spec JSON *is* the configuration of a CLI run. All sinks
+    /// go through an atomic write-temp-then-rename, so a crash mid-write
+    /// never leaves a truncated trace/events/ledger file behind.
     fn write(&self, job_text: &str) {
         if let Some(path) = &self.trace_out {
             let json = if self.trace_format == "chrome" {
@@ -126,7 +136,7 @@ impl ObsSinks {
             } else {
                 zenesis::obs::export::trace_json_string(true)
             };
-            match std::fs::write(path, json) {
+            match zenesis::obs::output::write_atomic(path, json.as_bytes()) {
                 Ok(()) => eprintln!("{} trace written to {path}", self.trace_format),
                 Err(e) => eprintln!("failed to write trace {path}: {e}"),
             }
@@ -136,7 +146,8 @@ impl ObsSinks {
             if dropped > 0 {
                 eprintln!("event buffer overflowed; {dropped} oldest events dropped");
             }
-            match std::fs::write(path, zenesis::obs::events::events_jsonl()) {
+            let jsonl = zenesis::obs::events::events_jsonl();
+            match zenesis::obs::output::write_atomic(path, jsonl.as_bytes()) {
                 Ok(()) => eprintln!("event stream written to {path}"),
                 Err(e) => eprintln!("failed to write events {path}: {e}"),
             }
@@ -150,7 +161,7 @@ impl ObsSinks {
                 self.started.elapsed().as_secs_f64(),
                 Vec::new(),
             );
-            match std::fs::write(path, ledger.to_json()) {
+            match zenesis::obs::output::write_atomic(path, ledger.to_json().as_bytes()) {
                 Ok(()) => eprintln!("run ledger written to {path}"),
                 Err(e) => eprintln!("failed to write ledger {path}: {e}"),
             }
@@ -193,6 +204,15 @@ fn main() {
             }
         },
         None => CancelToken::new(),
+    };
+    // --checkpoint-dir / --no-resume: overlay crash-safe checkpointing
+    // onto the batch job spec (flags win over spec fields).
+    let checkpoint_dir = take_flag_value(&mut args, "--checkpoint-dir");
+    let no_resume = if let Some(i) = args.iter().position(|a| a == "--no-resume") {
+        args.remove(i);
+        true
+    } else {
+        false
     };
     if !matches!(sinks.trace_format.as_str(), "json" | "chrome") {
         eprintln!(
@@ -259,6 +279,43 @@ fn main() {
             buf
         }
     };
-    println!("{}", run_job_json_with_cancel(&json, &cancel));
+    // The checkpoint flags need a parsed spec to overlay; without them
+    // the raw JSON goes straight through (unknown-field errors included).
+    if checkpoint_dir.is_some() || no_resume {
+        match serde_json::from_str::<JobSpec>(&json) {
+            Ok(mut spec) => {
+                if let JobSpec::Batch {
+                    checkpoint_dir: cd,
+                    resume,
+                    ..
+                } = &mut spec
+                {
+                    if checkpoint_dir.is_some() {
+                        *cd = checkpoint_dir;
+                    }
+                    if no_resume {
+                        *resume = false;
+                    }
+                } else {
+                    eprintln!("--checkpoint-dir/--no-resume apply to batch jobs only");
+                    std::process::exit(2);
+                }
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&run_job_with_cancel(&spec, &cancel))
+                        .expect("results serialize")
+                );
+            }
+            Err(e) => println!(
+                "{}",
+                serde_json::to_string_pretty(&zenesis::core::job::JobResult::Error {
+                    message: format!("invalid job spec: {e}"),
+                })
+                .expect("results serialize")
+            ),
+        }
+    } else {
+        println!("{}", run_job_json_with_cancel(&json, &cancel));
+    }
     sinks.write(&json);
 }

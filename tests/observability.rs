@@ -148,6 +148,8 @@ fn batch_job_emits_documented_event_stream() {
         },
         prompt: "needle-like crystalline catalyst".into(),
         config: None,
+        checkpoint_dir: None,
+        resume: true,
     };
     let result = run_job(&spec);
     assert!(matches!(result, JobResult::Volume { .. }));
