@@ -30,7 +30,14 @@
 //! its JSON result; `--checkpoint-dir <dir>` makes it crash-safe and
 //! resumable (`--no-resume` discards an existing journal), and
 //! `ZENESIS_FAULT=<site:kind:prob:seed>` injects faults for chaos drills
-//! (see `docs/ROBUSTNESS.md`).
+//! (see `docs/ROBUSTNESS.md`). Its input is selected by
+//! `--volume-input phantom` (default) or `--volume-input tiff:<path>`
+//! (a multi-page grayscale stack streamed slice-by-slice; see
+//! `docs/DATA.md`), and `--masks-out <path>` writes the per-slice masks
+//! as a multi-page 8-bit TIFF. The `gen-volume` experiment writes the
+//! canonical phantom volume as a 16-bit TIFF stack (`--volume-out`,
+//! default `out/volume.tif`) so the two input paths can be compared
+//! bit-for-bit.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -75,6 +82,54 @@ fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
     }
 }
 
+/// Where the `volume` experiment's slices come from: the built-in phantom
+/// generator or a TIFF stack on disk. One enum, one CLI flag — not a code
+/// path fork.
+enum VolumeSource {
+    /// The canonical 12-slice crystalline phantom (seed `SEED`, side
+    /// `SIDE`, outlier at z=5) — exactly what `gen-volume` writes.
+    Phantom,
+    /// A multi-page grayscale TIFF/BigTIFF stack, streamed slice-by-slice.
+    Tiff(String),
+}
+
+impl VolumeSource {
+    fn parse(spec: Option<String>) -> Self {
+        match spec.as_deref() {
+            None | Some("phantom") => VolumeSource::Phantom,
+            Some(s) => match s.strip_prefix("tiff:") {
+                Some(path) if !path.is_empty() => VolumeSource::Tiff(path.to_string()),
+                _ => {
+                    eprintln!(
+                        "[repro] unknown --volume-input {s:?} (expected phantom|tiff:<path>)"
+                    );
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+
+    fn input_spec(&self) -> InputSpec {
+        match self {
+            VolumeSource::Phantom => InputSpec::PhantomVolume {
+                kind: PhantomKind::Crystalline,
+                seed: SEED,
+                depth: 12,
+                side: SIDE,
+                outlier_slices: vec![5],
+            },
+            VolumeSource::Tiff(path) => InputSpec::TiffVolumeFile { path: path.clone() },
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            VolumeSource::Phantom => "phantom generator".into(),
+            VolumeSource::Tiff(path) => format!("tiff stack {path:?} (streamed)"),
+        }
+    }
+}
+
 fn main() {
     // Default to span recording so repro prints stage latencies; an
     // explicit ZENESIS_OBS (including "off") always wins.
@@ -93,6 +148,10 @@ fn main() {
     let events_out = take_flag_value(&mut args, "--events-out").map(PathBuf::from);
     let label = take_flag_value(&mut args, "--label").unwrap_or_else(|| "run".into());
     let checkpoint_dir = take_flag_value(&mut args, "--checkpoint-dir");
+    let volume_source = VolumeSource::parse(take_flag_value(&mut args, "--volume-input"));
+    let masks_out = take_flag_value(&mut args, "--masks-out");
+    let volume_out =
+        take_flag_value(&mut args, "--volume-out").unwrap_or_else(|| "out/volume.tif".into());
     let resume = if let Some(i) = args.iter().position(|a| a == "--no-resume") {
         args.remove(i);
         false
@@ -252,23 +311,44 @@ fn main() {
                 println!("response: {}\n", serde_json::to_string(&result).unwrap());
             }
             "volume" => {
-                n.say("Mode B batch volume (fault-tolerant, checkpointable)...");
+                n.say(format!(
+                    "Mode B batch volume from {} (fault-tolerant, checkpointable)...",
+                    volume_source.describe()
+                ));
                 let spec = JobSpec::Batch {
-                    input: InputSpec::PhantomVolume {
-                        kind: PhantomKind::Crystalline,
-                        seed: SEED,
-                        depth: 12,
-                        side: SIDE,
-                        outlier_slices: vec![5],
-                    },
+                    input: volume_source.input_spec(),
                     prompt: "needle-like crystalline catalyst".into(),
                     config: None,
                     checkpoint_dir: checkpoint_dir.clone(),
                     resume,
+                    masks_out: masks_out.clone(),
                 };
                 println!("== Mode B: batch volume ==");
                 let result = run_job(&spec);
                 println!("{}\n", serde_json::to_string_pretty(&result).unwrap());
+            }
+            "gen-volume" => {
+                n.say(format!(
+                    "writing canonical phantom volume as 16-bit TIFF stack to {volume_out}..."
+                ));
+                let v = zenesis_data::generate_volume(
+                    zenesis_data::SampleKind::Crystalline,
+                    SIDE,
+                    12,
+                    SEED,
+                    &[5],
+                );
+                let path = PathBuf::from(&volume_out);
+                if let Some(parent) = path.parent() {
+                    std::fs::create_dir_all(parent).ok();
+                }
+                match zenesis_tiff::save_tiff_volume_u16(&v.volume, &path) {
+                    Ok(()) => println!("== gen-volume: 12x{SIDE}x{SIDE} u16 stack -> {volume_out} ==\n"),
+                    Err(e) => {
+                        n.warn(format!("failed to write {volume_out}: {e}"));
+                        std::process::exit(1);
+                    }
+                }
             }
             other => n.warn(format!("unknown experiment {other:?} (skipped)")),
         }

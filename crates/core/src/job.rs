@@ -52,12 +52,13 @@ pub enum InputSpec {
         #[serde(default = "default_side")]
         side: usize,
     },
-    /// A grayscale TIFF file on disk (8- or 16-bit, uncompressed; the
-    /// first page of a multi-page file).
+    /// A grayscale TIFF file on disk (8/16/32-bit, classic or BigTIFF,
+    /// strips or tiles; the first page of a multi-page file).
     TiffFile { path: String },
     /// A binary PGM (P5) file on disk, 8- or 16-bit.
     PgmFile { path: String },
-    /// A multi-page 16-bit grayscale TIFF on disk, read as a volume.
+    /// A multi-page grayscale TIFF stack on disk, streamed through Mode
+    /// B slice-by-slice (the stack never has to fit in memory).
     TiffVolumeFile { path: String },
     /// An RGB PPM (P6) file on disk; converted to luma grayscale (the
     /// paper's platform accepts RGB scientific images natively).
@@ -118,11 +119,8 @@ impl InputSpec {
     fn load_file(&self) -> Option<Result<zenesis_image::Image<f32>, String>> {
         match self {
             InputSpec::TiffFile { path } => Some(
-                zenesis_image::io::tiff::load_tiff(path)
-                    .map(|page| match page {
-                        zenesis_image::io::tiff::TiffPage::U8(img) => img.to_f32(),
-                        zenesis_image::io::tiff::TiffPage::U16(img) => img.to_f32(),
-                    })
+                zenesis_tiff::load_tiff(path)
+                    .map(|page| page.to_f32())
                     .map_err(|e| format!("cannot read tiff {path:?}: {e}")),
             ),
             InputSpec::PpmFile { path } => Some(
@@ -201,6 +199,11 @@ pub enum JobSpec {
         /// (default) or discard it and start over.
         #[serde(default = "default_resume")]
         resume: bool,
+        /// Write the per-slice segmentation masks as a multi-page 8-bit
+        /// TIFF at this path (atomic tmp + rename); `None` keeps the
+        /// masks in-process only.
+        #[serde(default)]
+        masks_out: Option<String>,
     },
     /// Mode C: evaluate methods over the benchmark.
     Evaluate {
@@ -323,29 +326,44 @@ pub fn run_job_with_cancel(spec: &JobSpec, cancel: &CancelToken) -> JobResult {
     result
 }
 
-/// Map a fault-tolerant volume run onto the job contract: completed
-/// volumes (possibly with degraded/failed slices) are `Volume` results,
-/// cancellation is `Timeout`, and abort conditions are structured errors.
-fn volume_result(
-    run: Result<crate::temporal::VolumeResult, crate::temporal::VolumeError>,
+/// Map a completed volume run onto the job contract, writing the masks
+/// as a multi-page TIFF first when the job asked for them — a mask file
+/// that failed to land is a failed job, not a silent omission.
+fn finish_volume(
+    masks: &[zenesis_image::BitMask],
+    corrections: usize,
+    degraded: Vec<usize>,
+    failed: Vec<usize>,
     depth: usize,
-    cancel: &CancelToken,
+    masks_out: Option<&String>,
 ) -> JobResult {
+    if let Some(path) = masks_out {
+        if let Err(e) = zenesis_tiff::save_mask_volume_tiff(masks, path) {
+            return JobResult::Error {
+                message: format!("cannot write masks to {path:?}: {e}"),
+            };
+        }
+    }
+    JobResult::Volume {
+        depth,
+        corrections,
+        per_slice_pixels: masks.iter().map(|m| m.count()).collect(),
+        degraded,
+        failed,
+    }
+}
+
+/// Map a fault-tolerant volume run's failure onto the job contract:
+/// cancellation is `Timeout`, abort conditions are structured errors.
+fn volume_error_result(e: crate::temporal::VolumeError, cancel: &CancelToken) -> JobResult {
     use crate::temporal::VolumeError;
-    match run {
-        Ok(r) => JobResult::Volume {
-            depth,
-            corrections: r.corrections(),
-            per_slice_pixels: r.masks.iter().map(|m| m.count()).collect(),
-            degraded: r.degraded_slices(),
-            failed: r.failed_slices(),
-        },
-        Err(VolumeError::Cancelled(partial)) => JobResult::Timeout {
+    match e {
+        VolumeError::Cancelled(partial) => JobResult::Timeout {
             message: cancel_message(cancel),
             completed: partial.completed,
             total: partial.total,
         },
-        Err(e) => JobResult::Error {
+        e => JobResult::Error {
             message: e.to_string(),
         },
     }
@@ -420,6 +438,7 @@ fn run_job_inner(spec: &JobSpec, cancel: &CancelToken) -> JobResult {
             config,
             checkpoint_dir,
             resume,
+            masks_out,
         } => {
             let z = Zenesis::new(config.clone().unwrap_or_default());
             let ckpt = checkpoint_dir.as_ref().map(|d| crate::checkpoint::CheckpointSpec {
@@ -435,33 +454,55 @@ fn run_job_inner(spec: &JobSpec, cancel: &CancelToken) -> JobResult {
                     outlier_slices,
                 } => {
                     let v = generate_volume((*kind).into(), *side, *depth, *seed, outlier_slices);
-                    volume_result(
-                        z.segment_volume_resumable(&v.volume, prompt, cancel, ckpt.as_ref()),
-                        *depth,
-                        cancel,
-                    )
+                    match z.segment_volume_resumable(&v.volume, prompt, cancel, ckpt.as_ref()) {
+                        Ok(r) => finish_volume(
+                            &r.masks,
+                            r.corrections(),
+                            r.degraded_slices(),
+                            r.failed_slices(),
+                            *depth,
+                            masks_out.as_ref(),
+                        ),
+                        Err(e) => volume_error_result(e, cancel),
+                    }
                 }
                 InputSpec::TiffVolumeFile { path } => {
-                    let data = match std::fs::read(path) {
-                        Ok(d) => d,
+                    // Streamed: the reader scans only the page directory
+                    // here; pixel payloads are pulled slice-by-slice by
+                    // the pipeline, so the stack never has to fit in RAM.
+                    let reader = match zenesis_tiff::VolumeReader::open(path) {
+                        Ok(r) => r,
                         Err(e) => {
                             return JobResult::Error {
-                                message: format!("cannot open {path:?}: {e}"),
+                                message: format!("cannot read tiff volume {path:?}: {e}"),
                             }
                         }
                     };
-                    match zenesis_image::io::tiff::read_tiff_volume_u16(
-                        &data,
-                        zenesis_image::VoxelSize::default(),
-                    ) {
-                        Ok(vol) => volume_result(
-                            z.segment_volume_resumable(&vol, prompt, cancel, ckpt.as_ref()),
-                            vol.depth(),
-                            cancel,
+                    let (w, h, depth) = (reader.width(), reader.height(), reader.depth());
+                    if w > MAX_SIDE || h > MAX_SIDE {
+                        return JobResult::Error {
+                            message: format!(
+                                "tiff volume slice {w}x{h} exceeds the maximum side of {MAX_SIDE}"
+                            ),
+                        };
+                    }
+                    if depth > MAX_DEPTH {
+                        return JobResult::Error {
+                            message: format!(
+                                "tiff volume depth {depth} exceeds the maximum of {MAX_DEPTH}"
+                            ),
+                        };
+                    }
+                    match z.segment_volume_streamed(&reader, prompt, cancel, ckpt.as_ref()) {
+                        Ok(r) => finish_volume(
+                            &r.masks,
+                            r.corrections(),
+                            r.degraded_slices(),
+                            r.failed_slices(),
+                            depth,
+                            masks_out.as_ref(),
                         ),
-                        Err(e) => JobResult::Error {
-                            message: format!("cannot read tiff volume {path:?}: {e}"),
-                        },
+                        Err(e) => volume_error_result(e, cancel),
                     }
                 }
                 _ => JobResult::Error {
@@ -552,6 +593,7 @@ mod tests {
             config: None,
             checkpoint_dir: None,
             resume: true,
+            masks_out: None,
         };
         match run_job(&spec) {
             JobResult::Volume {
@@ -595,7 +637,7 @@ mod tests {
             zenesis_data::SampleKind::Amorphous,
             11,
         ));
-        zenesis_image::io::tiff::save_tiff_u16(&g.raw, &path).unwrap();
+        zenesis_tiff::save_tiff_u16(&g.raw, &path).unwrap();
         let spec = JobSpec::Interactive {
             input: InputSpec::TiffFile {
                 path: path.to_string_lossy().into_owned(),
@@ -615,11 +657,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("vol.tif");
         let v = generate_volume(SampleKind::Amorphous, 64, 3, 5, &[]);
-        std::fs::write(
-            &path,
-            zenesis_image::io::tiff::write_tiff_volume_u16(&v.volume),
-        )
-        .unwrap();
+        zenesis_tiff::save_tiff_volume_u16(&v.volume, &path).unwrap();
         let spec = JobSpec::Batch {
             input: InputSpec::TiffVolumeFile {
                 path: path.to_string_lossy().into_owned(),
@@ -628,6 +666,7 @@ mod tests {
             config: None,
             checkpoint_dir: None,
             resume: true,
+            masks_out: None,
         };
         match run_job(&spec) {
             JobResult::Volume {
@@ -673,6 +712,7 @@ mod tests {
             config: None,
             checkpoint_dir: None,
             resume: true,
+            masks_out: None,
         };
         match run_job(&spec) {
             JobResult::Error { message } => assert!(message.contains("depth"), "{message}"),
@@ -746,6 +786,7 @@ mod tests {
             config: None,
             checkpoint_dir: None,
             resume: true,
+            masks_out: None,
         };
         let cancel = CancelToken::with_deadline(std::time::Duration::ZERO);
         match run_job_with_cancel(&spec, &cancel) {

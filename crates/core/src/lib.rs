@@ -26,6 +26,9 @@
 //! * [`session`] — interactive session state with undo history.
 //! * [`checkpoint`] — the crash-safe per-slice journal behind Mode B's
 //!   checkpoint/resume (CRC-guarded JSONL, torn-tail tolerant).
+//! * [`stream`] — out-of-core Mode B: the same fault-tolerant volume
+//!   pipeline over a [`stream::SliceSource`] (e.g. a streaming TIFF
+//!   stack), holding O(one slice) of pixel data (see docs/DATA.md).
 
 pub mod checkpoint;
 pub mod config;
@@ -37,6 +40,7 @@ pub mod multi;
 pub mod pipeline;
 pub mod rectify;
 pub mod session;
+pub mod stream;
 pub mod temporal;
 
 pub use checkpoint::CheckpointSpec;
@@ -44,4 +48,5 @@ pub use config::ZenesisConfig;
 pub use method::Method;
 pub use multi::{MultiResult, ObjectSpec};
 pub use pipeline::{SliceError, SliceResult, Zenesis};
+pub use stream::{SliceSource, StreamVolumeResult};
 pub use temporal::{SliceOutcome, TemporalConfig, VolumeCancelled, VolumeError, VolumeResult};

@@ -1,0 +1,440 @@
+//! Streaming Mode B: segment a volume read slice-by-slice.
+//!
+//! [`Zenesis::segment_volume_streamed`] is the out-of-core counterpart
+//! of [`Zenesis::segment_volume_resumable`]: instead of a materialized
+//! `Volume<T>`, it pulls slices on demand from a [`SliceSource`] (a
+//! streaming TIFF stack, in practice) and never retains a slice's f32
+//! pixels past the stage that needs them. Peak pixel residency is
+//! O(active workers × one slice); only the per-slice *bit* masks and
+//! detections — 32x smaller than the pixels — accumulate across the
+//! run.
+//!
+//! Both passes that touch pixels (stage 1 adapt+ground, stage 3 decode)
+//! read the slice independently. That re-read is safe under fault
+//! injection because an injection decision is a pure function of
+//! `(seed, site, slice index)`: a slice that read cleanly in stage 1
+//! reads cleanly again in stage 3, and checkpoint replay of either pass
+//! reproduces the original decision. Adaptation is deterministic, so
+//! the re-adapted pixels entering stage 3 are bit-identical to the ones
+//! stage 1 saw — the same property the journal's replay path already
+//! relies on.
+//!
+//! Everything else — quarantine/retry/Otsu ladder, temporal box
+//! refinement, CRC-journaled checkpoint/resume, cancellation, the
+//! too-many-failures floor — is shared with the in-memory path, and a
+//! streamed run over the same pixels produces bit-identical masks.
+
+use std::sync::Arc;
+
+use zenesis_ground::Detection;
+use zenesis_image::{BitMask, BoxRegion, Image};
+use zenesis_par::CancelToken;
+use zenesis_sam::MemoryBank;
+
+use crate::checkpoint::{self, CheckpointSpec, Replay};
+use crate::pipeline::{SliceResult, Zenesis};
+use crate::temporal::{
+    empty_trace, refine_boxes, SliceBoxEvent, SliceOutcome, VolumeCancelled, VolumeError,
+};
+
+/// A volume whose slices are produced on demand, normalized to f32.
+///
+/// Implementations must be cheap to query for shape and must tolerate
+/// concurrent `read_slice` calls from parallel slice workers.
+pub trait SliceSource: Sync {
+    /// Number of slices.
+    fn depth(&self) -> usize;
+
+    /// `(width, height)` of every slice.
+    fn dims(&self) -> (usize, usize);
+
+    /// Produce slice `z` in the `Image<f32>` substrate. Errors are
+    /// surfaced as strings because the pipeline quarantines them per
+    /// slice rather than propagating a typed failure.
+    fn read_slice(&self, z: usize) -> Result<Image<f32>, String>;
+}
+
+/// A fully materialized volume trivially streams (tests, small stacks).
+impl SliceSource for zenesis_image::Volume<f32> {
+    fn depth(&self) -> usize {
+        zenesis_image::Volume::depth(self)
+    }
+
+    fn dims(&self) -> (usize, usize) {
+        self.slice(0).dims()
+    }
+
+    fn read_slice(&self, z: usize) -> Result<Image<f32>, String> {
+        Ok(self.slice(z).clone())
+    }
+}
+
+/// A TIFF stack on disk streams pages through the codec, with its
+/// `io.tiff` fault site and `io.tiff.*` instrumentation in the path.
+impl SliceSource for zenesis_tiff::VolumeReader {
+    fn depth(&self) -> usize {
+        zenesis_tiff::VolumeReader::depth(self)
+    }
+
+    fn dims(&self) -> (usize, usize) {
+        (self.width(), self.height())
+    }
+
+    fn read_slice(&self, z: usize) -> Result<Image<f32>, String> {
+        zenesis_tiff::VolumeReader::read_slice(self, z).map_err(|e| e.to_string())
+    }
+}
+
+/// What stage 1 keeps per slice: detections, the stage-1 mask, and the
+/// health outcome. The adapted pixels are deliberately dropped —
+/// holding them for every slice is exactly what the streaming path
+/// exists to avoid.
+struct StageOne {
+    detections: Vec<Detection>,
+    combined: BitMask,
+    outcome: SliceOutcome,
+}
+
+/// Result of streaming volume processing. Identical masks/events/
+/// outcomes to [`crate::VolumeResult`] over the same pixels, minus the
+/// retained per-slice `SliceResult`s (no adapted pixels survive the
+/// run).
+#[derive(Debug)]
+pub struct StreamVolumeResult {
+    /// Per-slice segmentation masks.
+    pub masks: Vec<BitMask>,
+    /// What the temporal heuristic did per slice.
+    pub events: Vec<SliceBoxEvent>,
+    /// Per-slice health.
+    pub outcomes: Vec<SliceOutcome>,
+}
+
+impl StreamVolumeResult {
+    /// Number of slices whose box was corrected.
+    pub fn corrections(&self) -> usize {
+        self.events.iter().filter(|e| e.corrected).count()
+    }
+
+    /// Indices of slices served by a fallback.
+    pub fn degraded_slices(&self) -> Vec<usize> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_degraded())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of slices that produced nothing (empty mask).
+    pub fn failed_slices(&self) -> Vec<usize> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_failed())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+impl Zenesis {
+    /// Mode B over a [`SliceSource`]: the full fault-tolerant volume
+    /// pipeline — quarantine ladder, temporal refinement, cancellation,
+    /// optional CRC-journaled checkpoint/resume — without ever holding
+    /// more than O(active workers) slices of pixel data in memory.
+    ///
+    /// A slice whose *read* fails (after one retry) is recorded as
+    /// [`SliceOutcome::Failed`] with an empty mask: with no pixels
+    /// there is nothing for the Otsu fallback to threshold. Read
+    /// failures count toward the same >50% abort floor as pipeline
+    /// failures.
+    pub fn segment_volume_streamed(
+        &self,
+        src: &dyn SliceSource,
+        prompt: &str,
+        cancel: &CancelToken,
+        checkpoint: Option<&CheckpointSpec>,
+    ) -> Result<StreamVolumeResult, VolumeError> {
+        let _root = zenesis_obs::span("pipeline.segment_volume_streamed");
+        let depth = src.depth();
+        let (w, h) = src.dims();
+        let (journal, replay) = match checkpoint {
+            Some(spec) => {
+                let config_json = serde_json::to_string(&self.config)
+                    .map_err(|e| VolumeError::Checkpoint(format!("config fingerprint: {e}")))?;
+                let header = checkpoint::Header::new(depth, w, h, prompt, &config_json);
+                let opened =
+                    checkpoint::Journal::open(&spec.dir, &header, spec.resume).map_err(|e| {
+                        VolumeError::Checkpoint(format!(
+                            "cannot open journal in {}: {e}",
+                            spec.dir.display()
+                        ))
+                    })?;
+                (Some(opened.journal), opened.replay)
+            }
+            None => (None, Replay::default()),
+        };
+        // Stage 1: read + adapt + ground each slice in parallel, then
+        // immediately compact to detections/mask/outcome so the slice's
+        // pixels are freed before the next slice is pulled.
+        let progress = zenesis_par::Progress::new(depth);
+        let maybe_stage1: Vec<Option<StageOne>> = zenesis_par::par_map_range(depth, |z| {
+            if cancel.is_cancelled() {
+                return None;
+            }
+            if let Some(rep) = replay.slices.get(&z) {
+                progress.tick();
+                return Some(StageOne {
+                    detections: rep.detections.clone(),
+                    combined: rep.combined.clone(),
+                    outcome: rep.outcome.clone(),
+                });
+            }
+            let t0 = zenesis_obs::enabled().then(std::time::Instant::now);
+            let one = match self.read_slice_guarded(src, z) {
+                Ok(raw) => {
+                    let (r, outcome) = self.run_slice_guarded(&raw, z, prompt, cancel)?;
+                    StageOne {
+                        detections: r.detections,
+                        combined: r.combined,
+                        outcome,
+                    }
+                }
+                Err(reason) => self.failed_read_slice(z, w, h, reason),
+            };
+            if let Some(j) = &journal {
+                j.record_slice(z, &one.outcome, &one.detections, &one.combined);
+            }
+            progress.tick();
+            if let Some(t0) = t0 {
+                zenesis_obs::events::emit(zenesis_obs::events::Event::SliceDone {
+                    index: z,
+                    done: progress.done_clamped(),
+                    total: depth,
+                    lat_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    mask_pixels: one.combined.count() as u64,
+                    rate: progress.rate(),
+                    eta_s: progress.eta_secs(),
+                });
+            }
+            Some(one)
+        });
+        if maybe_stage1.iter().any(|s| s.is_none()) {
+            let per_slice_pixels: Vec<usize> = maybe_stage1
+                .iter()
+                .flatten()
+                .map(|s| s.combined.count())
+                .collect();
+            return Err(VolumeError::Cancelled(VolumeCancelled {
+                completed: per_slice_pixels.len(),
+                total: depth,
+                per_slice_pixels,
+            }));
+        }
+        let stage1: Vec<StageOne> = maybe_stage1.into_iter().flatten().collect();
+        let failed = stage1.iter().filter(|s| s.outcome.is_failed()).count();
+        if failed * 2 > depth {
+            zenesis_obs::events::warn(format!(
+                "volume abandoned: {failed}/{depth} slices failed"
+            ));
+            return Err(VolumeError::TooManyFailures {
+                failed,
+                total: depth,
+            });
+        }
+        // Stage 2: temporal refinement (identical to the in-memory path).
+        let refine_span = zenesis_obs::span("temporal.refine");
+        let raw_boxes: Vec<Option<BoxRegion>> = stage1
+            .iter()
+            .map(|s| s.detections.first().map(|d| d.bbox))
+            .collect();
+        let (used, events, window_dims) = refine_boxes(&raw_boxes, &self.config.temporal);
+        drop(refine_span);
+        if zenesis_obs::enabled() {
+            for e in events.iter().filter(|e| e.corrected) {
+                zenesis_obs::events::emit(zenesis_obs::events::Event::TemporalReplace {
+                    slice: e.slice,
+                    had_detection: e.raw_box.is_some(),
+                });
+            }
+        }
+        // Stage 3: decode masks, re-reading and re-adapting each slice
+        // that actually decodes. Slices that keep their stage-1 mask
+        // (failed, or degraded without a rescue box) are never re-read.
+        let _decode = zenesis_obs::span("temporal.decode");
+        let maybe_masks: Vec<Option<(BitMask, bool)>> = if self.config.use_memory {
+            // Sequential memory-bank decode; mirrors the in-memory path
+            // (no replay shortcut, no mask journaling) so the bank's
+            // warm state matches an unbroken run.
+            let mut bank = MemoryBank::new(self.config.temporal.window.max(1));
+            let mut out = Vec::with_capacity(depth);
+            for (z, s1) in stage1.iter().enumerate() {
+                if cancel.is_cancelled() {
+                    out.push(None);
+                    continue;
+                }
+                match self.rebuild_slice_for_decode(src, z, s1) {
+                    Ok(slice) => {
+                        let adapted = Arc::clone(&slice.adapted);
+                        let used_box = used[z];
+                        let decoded = zenesis_fault::with_unit(z as u64, || {
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                bank.propagate(self.sam(), &adapted, || {
+                                    if s1.outcome.is_failed()
+                                        || (!s1.outcome.is_ok() && used_box.is_none())
+                                    {
+                                        s1.combined.clone()
+                                    } else {
+                                        self.decode_with_box(
+                                            &adapted,
+                                            used_box,
+                                            &slice,
+                                            window_dims[z],
+                                        )
+                                    }
+                                })
+                            }))
+                        });
+                        out.push(Some(match decoded {
+                            Ok(mask) => (mask, false),
+                            Err(p) => {
+                                self.report_decode_degraded(
+                                    z,
+                                    &crate::temporal::panic_message(p),
+                                );
+                                (s1.combined.clone(), true)
+                            }
+                        }));
+                    }
+                    Err(reason) => {
+                        // No pixels to propagate: keep the stage-1 mask
+                        // and leave the bank untouched for this slice.
+                        self.report_decode_degraded(z, &reason);
+                        out.push(Some((s1.combined.clone(), true)));
+                    }
+                }
+            }
+            out
+        } else {
+            zenesis_par::par_map_range(depth, |z| {
+                if cancel.is_cancelled() {
+                    return None;
+                }
+                if let Some(rep) = replay.masks.get(&z) {
+                    return Some((rep.mask.clone(), rep.degraded_by_decode));
+                }
+                let s1 = &stage1[z];
+                let (mask, degraded) =
+                    if s1.outcome.is_failed() || (!s1.outcome.is_ok() && used[z].is_none()) {
+                        (s1.combined.clone(), false)
+                    } else {
+                        match self.rebuild_slice_for_decode(src, z, s1) {
+                            Ok(slice) => self.decode_slice_guarded(
+                                z,
+                                &slice,
+                                &s1.outcome,
+                                used[z],
+                                window_dims[z],
+                            ),
+                            Err(reason) => {
+                                self.report_decode_degraded(z, &reason);
+                                (s1.combined.clone(), true)
+                            }
+                        }
+                    };
+                if let Some(j) = &journal {
+                    j.record_mask(z, &mask, degraded);
+                }
+                Some((mask, degraded))
+            })
+        };
+        if maybe_masks.iter().any(|m| m.is_none()) {
+            let per_slice_pixels: Vec<usize> = maybe_masks
+                .iter()
+                .flatten()
+                .map(|(m, _)| m.count())
+                .collect();
+            return Err(VolumeError::Cancelled(VolumeCancelled {
+                completed: per_slice_pixels.len(),
+                total: depth,
+                per_slice_pixels,
+            }));
+        }
+        let mut outcomes: Vec<SliceOutcome> = stage1.into_iter().map(|s| s.outcome).collect();
+        let mut masks = Vec::with_capacity(depth);
+        for (z, (mask, degraded_by_decode)) in maybe_masks.into_iter().flatten().enumerate() {
+            if degraded_by_decode && outcomes[z].is_ok() {
+                outcomes[z] = SliceOutcome::Degraded {
+                    reason: "mask decode failed; stage-1 mask used".into(),
+                };
+            }
+            masks.push(mask);
+        }
+        Ok(StreamVolumeResult {
+            masks,
+            events,
+            outcomes,
+        })
+    }
+
+    /// Read slice `z` with one retry, under the slice's fault unit so
+    /// an `io.tiff` injection decision is reproducible across passes.
+    fn read_slice_guarded(
+        &self,
+        src: &dyn SliceSource,
+        z: usize,
+    ) -> Result<Image<f32>, String> {
+        zenesis_fault::with_unit(z as u64, || {
+            let mut reason = String::new();
+            for _attempt in 0..2 {
+                match src.read_slice(z) {
+                    Ok(img) => return Ok(img),
+                    Err(e) => reason = e,
+                }
+            }
+            Err(reason)
+        })
+    }
+
+    /// Stage-1 record for a slice whose pixels never arrived.
+    fn failed_read_slice(&self, z: usize, w: usize, h: usize, reason: String) -> StageOne {
+        let why = format!("slice read failed ({reason})");
+        zenesis_obs::counter("slice.failed").inc();
+        zenesis_obs::events::emit(zenesis_obs::events::Event::SliceFailed {
+            slice: z,
+            reason: why.clone(),
+        });
+        StageOne {
+            detections: Vec::new(),
+            combined: BitMask::new(w, h),
+            outcome: SliceOutcome::Failed { reason: why },
+        }
+    }
+
+    /// Re-read and re-adapt slice `z` for stage-3 decoding, rebuilding
+    /// the same `SliceResult` shape the in-memory path would hold:
+    /// healthy slices re-run the full (deterministic) adaptation,
+    /// quarantined slices the sanitized minimal one — exactly the rule
+    /// checkpoint replay already uses, so the decoded masks are
+    /// bit-identical to the in-memory path's.
+    fn rebuild_slice_for_decode(
+        &self,
+        src: &dyn SliceSource,
+        z: usize,
+        s1: &StageOne,
+    ) -> Result<SliceResult, String> {
+        let raw = self.read_slice_guarded(src, z)?;
+        let adapted = match s1.outcome {
+            SliceOutcome::Ok => self.config.adapt.run(&raw),
+            _ => self.sanitized_minimal_adapt(&raw),
+        };
+        let (w, h) = adapted.dims();
+        Ok(SliceResult {
+            adapted: Arc::new(adapted),
+            detections: s1.detections.clone(),
+            masks: Vec::new(),
+            combined: s1.combined.clone(),
+            relevance: Image::zeros(w, h),
+            trace: empty_trace(),
+        })
+    }
+}

@@ -266,7 +266,7 @@ pub fn refine_boxes(raw: &[Option<BoxRegion>], cfg: &TemporalConfig) -> RefinedB
 }
 
 /// Human-readable message out of a caught panic payload.
-fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = p.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = p.downcast_ref::<String>() {
@@ -277,7 +277,7 @@ fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// A zeroed trace for fallback / replayed slices (no stages ran).
-fn empty_trace() -> PipelineTrace {
+pub(crate) fn empty_trace() -> PipelineTrace {
     PipelineTrace {
         adapt_ms: 0.0,
         ground_ms: 0.0,
@@ -522,7 +522,7 @@ impl Zenesis {
     /// structured errors both caught), retry once, then fall back to the
     /// Otsu baseline on a sanitized minimally-adapted slice. Returns
     /// `None` only when `cancel` fired (the slice counts as unreached).
-    fn run_slice_guarded<T: Pixel>(
+    pub(crate) fn run_slice_guarded<T: Pixel>(
         &self,
         raw: &Image<T>,
         z: usize,
@@ -624,7 +624,7 @@ impl Zenesis {
     /// Minimal adaptation with non-finite pixels zeroed first — the
     /// primary cascade may be exactly what failed, so the fallback uses
     /// the cheapest robust path instead.
-    fn sanitized_minimal_adapt<T: Pixel>(&self, raw: &Image<T>) -> Image<f32> {
+    pub(crate) fn sanitized_minimal_adapt<T: Pixel>(&self, raw: &Image<T>) -> Image<f32> {
         let mut img = raw.to_f32();
         for v in img.as_mut_slice() {
             if !v.is_finite() {
@@ -636,7 +636,7 @@ impl Zenesis {
 
     /// Wrap an adapted image + mask as a [`SliceResult`] with no
     /// detections and a zeroed trace (fallbacks have no grounding).
-    fn synthesized_result(&self, adapted: Image<f32>, combined: BitMask) -> SliceResult {
+    pub(crate) fn synthesized_result(&self, adapted: Image<f32>, combined: BitMask) -> SliceResult {
         let (w, h) = adapted.dims();
         SliceResult {
             adapted: Arc::new(adapted),
@@ -652,7 +652,7 @@ impl Zenesis {
     /// slices re-run the (deterministic) adaptation so stage 3 decodes
     /// from identical pixels; quarantined slices rebuild the fallback
     /// adaptation the same way.
-    fn reconstruct_slice<T: Pixel>(
+    pub(crate) fn reconstruct_slice<T: Pixel>(
         &self,
         raw: &Image<T>,
         rep: &checkpoint::ReplaySlice,
@@ -680,7 +680,7 @@ impl Zenesis {
     /// and flag the slice degraded. Failed slices and degraded slices
     /// with no temporal rescue box skip decode and keep their stage-1
     /// mask outright.
-    fn decode_slice_guarded(
+    pub(crate) fn decode_slice_guarded(
         &self,
         z: usize,
         slice: &SliceResult,
@@ -711,7 +711,7 @@ impl Zenesis {
         })
     }
 
-    fn report_decode_degraded(&self, z: usize, reason: &str) {
+    pub(crate) fn report_decode_degraded(&self, z: usize, reason: &str) {
         zenesis_obs::counter("slice.degraded").inc();
         zenesis_obs::events::emit(zenesis_obs::events::Event::SliceDegraded {
             slice: z,
@@ -722,7 +722,7 @@ impl Zenesis {
     /// Decode a slice using a refined primary box (if any) together with
     /// the secondary detections that pass the same temporal size screen
     /// (a glitched slice's garbage boxes must not leak in as secondaries).
-    fn decode_with_box(
+    pub(crate) fn decode_with_box(
         &self,
         adapted: &Image<f32>,
         primary: Option<BoxRegion>,

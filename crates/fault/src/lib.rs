@@ -54,7 +54,7 @@
 //!
 //! The canonical site names wired through the pipeline are documented in
 //! `docs/ROBUSTNESS.md`: `adapt.denoise`, `ground.dino`, `sam.decode`,
-//! `io.write`, `slice.slow`.
+//! `io.write`, `io.tiff`, `slice.slow`.
 
 #![warn(missing_docs)]
 

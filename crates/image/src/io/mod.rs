@@ -7,13 +7,14 @@
 //!   the simplest interchange format, used for all figure outputs.
 //! * [`png`] — a from-scratch PNG *encoder* (stored-deflate zlib): the
 //!   universally viewable output format for figure panels.
-//! * [`tiff`] — a from-scratch minimal TIFF codec: uncompressed, grayscale,
-//!   8 or 16 bits/sample, single- or multi-page (volumes). Little-endian
-//!   writer; reader accepts both byte orders.
 //! * [`raw`] — headerless dumps with explicit shape, the lowest common
 //!   denominator for instrument data.
+//!
+//! TIFF/BigTIFF (the instrument format) lives in the dedicated
+//! `zenesis-tiff` crate: classic and BigTIFF containers, strips and
+//! tiles, 8/16/32-bit grayscale, and a streaming multi-page volume
+//! reader (contract in docs/DATA.md).
 
 pub mod pgm;
 pub mod png;
 pub mod raw;
-pub mod tiff;

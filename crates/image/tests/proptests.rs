@@ -4,7 +4,6 @@
 use proptest::prelude::*;
 use zenesis_image::filter::{gaussian_blur, median_filter};
 use zenesis_image::io::pgm::{read_pgm, write_pgm_u16, Pgm};
-use zenesis_image::io::tiff::{read_tiff, write_tiff_u16, TiffPage};
 use zenesis_image::morphology::{close, dilate, erode, open, Structuring};
 use zenesis_image::{BitMask, BoxRegion, Image, Point};
 
@@ -186,15 +185,8 @@ proptest! {
         }
     }
 
-    #[test]
-    fn tiff16_roundtrip(vals in prop::collection::vec(any::<u16>(), 24)) {
-        let img = Image::from_vec(6, 4, vals).unwrap();
-        let bytes = write_tiff_u16(&img);
-        match &read_tiff(&bytes).unwrap()[0] {
-            TiffPage::U16(back) => prop_assert_eq!(back, &img),
-            _ => prop_assert!(false, "depth changed"),
-        }
-    }
+    // TIFF round-trip properties moved to the dedicated zenesis-tiff
+    // crate (crates/tiff/tests/roundtrip.rs) with the codec itself.
 
     #[test]
     fn distance_zero_iff_in_mask(a in arb_mask(10, 10)) {

@@ -188,6 +188,42 @@ mod tests {
     }
 
     #[test]
+    fn batch_spec_carries_tiff_volume_source_and_masks_out() {
+        // The TIFF streaming contract rides the same serde: a batch spec
+        // naming a `tiff_volume_file` source and a `masks_out` sink must
+        // survive the wire; `masks_out` defaults to None when omitted.
+        let batch = r#"{"mode": "batch",
+            "input": {"source": "tiff_volume_file", "path": "/data/stack.tif"},
+            "prompt": "bright particles",
+            "masks_out": "/data/masks.tif"}"#;
+        let line = format!(r#"{{"id": 2, "spec": {batch}}}"#);
+        let req = parse_request(&line, 0).unwrap();
+        match req.spec {
+            JobSpec::Batch {
+                input, masks_out, ..
+            } => {
+                match input {
+                    zenesis_core::job::InputSpec::TiffVolumeFile { path } => {
+                        assert_eq!(path, "/data/stack.tif");
+                    }
+                    other => panic!("unexpected input {other:?}"),
+                }
+                assert_eq!(masks_out.as_deref(), Some("/data/masks.tif"));
+            }
+            other => panic!("unexpected spec {other:?}"),
+        }
+        let bare = r#"{"mode": "batch",
+            "input": {"source": "tiff_volume_file", "path": "/data/stack.tif"},
+            "prompt": "bright particles"}"#;
+        match parse_request(bare, 0).unwrap().spec {
+            JobSpec::Batch { masks_out, .. } => {
+                assert_eq!(masks_out, None, "masks_out defaults to None");
+            }
+            other => panic!("unexpected spec {other:?}"),
+        }
+    }
+
+    #[test]
     fn malformed_lines_are_errors_not_panics() {
         assert!(parse_request("{not json", 1).is_err());
         assert!(parse_request(r#"{"spec": {"mode": "nope"}}"#, 1).is_err());

@@ -1,0 +1,16 @@
+//! Emit the `docs/DATA.md` worked-example bytes: the minimal valid
+//! 2x2 8-bit TIFF the encoder writes, hex-dumped to stdout.
+//!
+//! ```text
+//! cargo run -p zenesis-tiff --example hexdump
+//! ```
+
+fn main() {
+    let img = zenesis_image::Image::from_fn(2usize, 2usize, |x, y| (16 * (1 + x + 2 * y)) as u8);
+    let bytes = zenesis_tiff::write_tiff_u8(&img).expect("encode");
+    for (i, chunk) in bytes.chunks(16).enumerate() {
+        let hex: Vec<String> = chunk.iter().map(|b| format!("{b:02x}")).collect();
+        println!("{:08x}  {}", i * 16, hex.join(" "));
+    }
+    eprintln!("{} bytes", bytes.len());
+}

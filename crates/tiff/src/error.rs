@@ -1,0 +1,206 @@
+//! The structured [`TiffError`] taxonomy.
+//!
+//! Scientific data arrives malformed: torn transfers, half-written
+//! stacks, exporter bugs. Every decode failure carries the byte offset
+//! where the file stopped making sense, so an operator can line the
+//! error up against a hex dump (worked examples in `docs/DATA.md`)
+//! instead of guessing. Decoding never panics on hostile input — the
+//! adversarial corpus under `tests/corpus/` pins that contract.
+
+use std::fmt;
+
+/// Result alias for all codec operations.
+pub type Result<T> = std::result::Result<T, TiffError>;
+
+/// Why a TIFF could not be decoded (or encoded).
+///
+/// Variants carry the byte offset of the offending structure where one
+/// exists; offsets are formatted in hex to match hex-dump tooling.
+#[derive(Debug)]
+pub enum TiffError {
+    /// An underlying I/O operation failed (open, seek, read, write).
+    Io(std::io::Error),
+    /// The file ended before a required structure: `needed` bytes were
+    /// requested at `offset` for `what`.
+    Truncated {
+        /// Byte offset of the attempted read.
+        offset: u64,
+        /// Bytes the structure needed.
+        needed: u64,
+        /// What was being read (header, IFD entry, strip payload, ...).
+        what: &'static str,
+    },
+    /// The first two bytes are neither `II` nor `MM`.
+    BadMagic {
+        /// The bytes actually found.
+        found: [u8; 2],
+    },
+    /// The version word is neither 42 (classic) nor 43 (BigTIFF).
+    BadVersion {
+        /// The version actually found.
+        found: u16,
+    },
+    /// A BigTIFF header with an unsupported offset size or nonzero pad.
+    BadBigTiff {
+        /// Declared offset byte size (must be 8).
+        offset_size: u16,
+        /// Declared pad word (must be 0).
+        pad: u16,
+    },
+    /// The IFD chain revisited an offset it had already parsed — a
+    /// cyclic `next IFD` pointer that would loop forever.
+    CyclicIfd {
+        /// The offset that appeared twice in the chain.
+        offset: u64,
+    },
+    /// The file parses but contains no image pages.
+    NoPages,
+    /// A dimension tag (width, height, tile width/length) is zero.
+    ZeroDimension {
+        /// The offending tag number.
+        tag: u16,
+        /// Offset of the IFD that declared it.
+        ifd: u64,
+    },
+    /// A strip or tile payload lies (partly) past the end of the file.
+    OutOfBounds {
+        /// What pointed out of range (strip, tile, value array, IFD).
+        what: &'static str,
+        /// Declared payload offset.
+        offset: u64,
+        /// Declared payload length.
+        len: u64,
+        /// Actual file length.
+        file_len: u64,
+    },
+    /// A feature outside the supported subset (compression, RGB,
+    /// exotic value types, unsupported bit depths).
+    Unsupported {
+        /// Human-readable description of the unsupported feature.
+        what: String,
+        /// Offset of the IFD (or entry) that declared it.
+        offset: u64,
+    },
+    /// Tags contradict each other (strip tables of different lengths,
+    /// byte counts that disagree with the declared geometry, pages of
+    /// mixed shape in a volume).
+    Inconsistent {
+        /// Human-readable description of the contradiction.
+        what: String,
+        /// Offset of the IFD where the contradiction was detected.
+        offset: u64,
+    },
+    /// A size exceeded a hard limit (classic 32-bit offsets overflowed
+    /// while encoding, or a declared dimension would overflow memory).
+    TooLarge {
+        /// What overflowed.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+        /// The limit it exceeded.
+        limit: u64,
+    },
+    /// An armed `io.tiff` fault-injection site fired (chaos testing;
+    /// see `docs/ROBUSTNESS.md`).
+    Injected,
+}
+
+impl fmt::Display for TiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TiffError::Io(e) => write!(f, "i/o error: {e}"),
+            TiffError::Truncated {
+                offset,
+                needed,
+                what,
+            } => write!(
+                f,
+                "truncated file: {what} needs {needed} byte(s) at offset {offset:#x}"
+            ),
+            TiffError::BadMagic { found } => write!(
+                f,
+                "bad byte-order mark {:#04x} {:#04x} at offset 0x0 (expected II or MM)",
+                found[0], found[1]
+            ),
+            TiffError::BadVersion { found } => write!(
+                f,
+                "bad version {found} at offset 0x2 (expected 42 for TIFF or 43 for BigTIFF)"
+            ),
+            TiffError::BadBigTiff { offset_size, pad } => write!(
+                f,
+                "bad BigTIFF header at offset 0x4: offset size {offset_size} (expected 8), pad {pad} (expected 0)"
+            ),
+            TiffError::CyclicIfd { offset } => {
+                write!(f, "cyclic IFD chain: offset {offset:#x} visited twice")
+            }
+            TiffError::NoPages => write!(f, "file contains no image pages"),
+            TiffError::ZeroDimension { tag, ifd } => {
+                write!(f, "zero dimension in tag {tag} (IFD at offset {ifd:#x})")
+            }
+            TiffError::OutOfBounds {
+                what,
+                offset,
+                len,
+                file_len,
+            } => write!(
+                f,
+                "{what} out of bounds: {len} byte(s) at offset {offset:#x} past file end ({file_len:#x})"
+            ),
+            TiffError::Unsupported { what, offset } => {
+                write!(f, "unsupported: {what} (IFD at offset {offset:#x})")
+            }
+            TiffError::Inconsistent { what, offset } => {
+                write!(f, "inconsistent tags: {what} (IFD at offset {offset:#x})")
+            }
+            TiffError::TooLarge { what, value, limit } => {
+                write!(f, "{what} too large: {value} exceeds limit {limit}")
+            }
+            TiffError::Injected => write!(f, "injected fault at io.tiff"),
+        }
+    }
+}
+
+impl std::error::Error for TiffError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TiffError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TiffError {
+    fn from(e: std::io::Error) -> Self {
+        TiffError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_hex_offsets() {
+        let e = TiffError::Truncated {
+            offset: 0x1a0,
+            needed: 12,
+            what: "IFD entry",
+        };
+        assert!(e.to_string().contains("0x1a0"), "{e}");
+        let e = TiffError::OutOfBounds {
+            what: "strip payload",
+            offset: 0x8000,
+            len: 512,
+            file_len: 0x100,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0x8000") && s.contains("0x100"), "{s}");
+    }
+
+    #[test]
+    fn io_errors_chain_as_source() {
+        let e = TiffError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

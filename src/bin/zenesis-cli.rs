@@ -16,6 +16,10 @@
 //! # segment your own microscope data
 //! cargo run --release --bin zenesis-cli -- --tiff slice.tif --prompt "bright particles"
 //!
+//! # segment a whole TIFF stack (streamed slice-by-slice), masks out as TIFF
+//! cargo run --release --bin zenesis-cli -- \
+//!     --tiff-volume stack.tif --prompt "bright particles" --masks-out masks.tif
+//!
 //! # print example job specs
 //! cargo run --release --bin zenesis-cli -- --examples
 //!
@@ -49,6 +53,13 @@
 //! directory resumes where the previous run died, producing identical
 //! final results. `--no-resume` discards an existing journal instead.
 //! See `docs/ROBUSTNESS.md`.
+//!
+//! `--tiff-volume <path>` is the batch analogue of `--tiff`: the
+//! multi-page grayscale TIFF/BigTIFF stack at `path` is streamed
+//! slice-by-slice through Mode B (O(one slice) memory; see
+//! `docs/DATA.md`), and `--masks-out <path>` writes the resulting
+//! per-slice masks as a multi-page 8-bit TIFF. `--masks-out` also
+//! overlays onto a batch job spec given as JSON.
 
 use std::io::Read;
 use std::time::{Duration, Instant};
@@ -96,6 +107,20 @@ fn examples() -> Vec<(&'static str, JobSpec)> {
                 config: None,
                 checkpoint_dir: None,
                 resume: true,
+                masks_out: None,
+            },
+        ),
+        (
+            "Mode B: your own TIFF stack, streamed, masks out as TIFF",
+            JobSpec::Batch {
+                input: InputSpec::TiffVolumeFile {
+                    path: "stack.tif".into(),
+                },
+                prompt: "bright particles".into(),
+                config: None,
+                checkpoint_dir: None,
+                resume: true,
+                masks_out: Some("masks.tif".into()),
             },
         ),
         (
@@ -214,6 +239,10 @@ fn main() {
     } else {
         false
     };
+    // --masks-out: where batch jobs write their per-slice masks as a
+    // multi-page 8-bit TIFF (overlays onto JSON specs like the
+    // checkpoint flags do).
+    let masks_out = take_flag_value(&mut args, "--masks-out");
     if !matches!(sinks.trace_format.as_str(), "json" | "chrome") {
         eprintln!(
             "unknown --trace-format {:?} (expected json|chrome)",
@@ -260,6 +289,35 @@ fn main() {
         sinks.write(&serde_json::to_string(&spec).expect("specs serialize"));
         return;
     }
+    // --tiff-volume <path> --prompt <text>: the batch analogue — stream a
+    // whole multi-page stack through Mode B.
+    if let Some(pos) = args.iter().position(|a| a == "--tiff-volume") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("--tiff-volume requires a path");
+            std::process::exit(2);
+        };
+        let prompt = args
+            .iter()
+            .position(|a| a == "--prompt")
+            .and_then(|p| args.get(p + 1))
+            .cloned()
+            .unwrap_or_else(|| "bright particles".into());
+        let spec = JobSpec::Batch {
+            input: InputSpec::TiffVolumeFile { path: path.clone() },
+            prompt,
+            config: None,
+            checkpoint_dir,
+            resume: !no_resume,
+            masks_out,
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&run_job_with_cancel(&spec, &cancel))
+                .expect("results serialize")
+        );
+        sinks.write(&serde_json::to_string(&spec).expect("specs serialize"));
+        return;
+    }
     // Default: a JSON job from file argument or stdin.
     let json = match args.first() {
         Some(path) => match std::fs::read_to_string(path) {
@@ -281,12 +339,13 @@ fn main() {
     };
     // The checkpoint flags need a parsed spec to overlay; without them
     // the raw JSON goes straight through (unknown-field errors included).
-    if checkpoint_dir.is_some() || no_resume {
+    if checkpoint_dir.is_some() || no_resume || masks_out.is_some() {
         match serde_json::from_str::<JobSpec>(&json) {
             Ok(mut spec) => {
                 if let JobSpec::Batch {
                     checkpoint_dir: cd,
                     resume,
+                    masks_out: mo,
                     ..
                 } = &mut spec
                 {
@@ -296,8 +355,13 @@ fn main() {
                     if no_resume {
                         *resume = false;
                     }
+                    if masks_out.is_some() {
+                        *mo = masks_out;
+                    }
                 } else {
-                    eprintln!("--checkpoint-dir/--no-resume apply to batch jobs only");
+                    eprintln!(
+                        "--checkpoint-dir/--no-resume/--masks-out apply to batch jobs only"
+                    );
                     std::process::exit(2);
                 }
                 println!(

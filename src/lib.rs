@@ -13,6 +13,7 @@
 //! | [`obs`] | `zenesis-obs` | observability: spans, metrics, traces |
 //! | [`par`] | `zenesis-par` | from-scratch parallel runtime |
 //! | [`image`] | `zenesis-image` | scientific image substrate |
+//! | [`tiff`] | `zenesis-tiff` | TIFF/BigTIFF streaming volume I/O |
 //! | [`adapt`] | `zenesis-adapt` | data-readiness adaptation |
 //! | [`tensor`] | `zenesis-tensor` | dense kernels |
 //! | [`nn`] | `zenesis-nn` | transformer blocks |
@@ -54,3 +55,4 @@ pub use zenesis_par as par;
 pub use zenesis_sam as sam;
 pub use zenesis_serve as serve;
 pub use zenesis_tensor as tensor;
+pub use zenesis_tiff as tiff;

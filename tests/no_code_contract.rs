@@ -81,7 +81,7 @@ fn file_backed_jobs_roundtrip_through_disk() {
         11,
     ));
     let tiff_path = dir.join("s.tif");
-    zenesis::image::io::tiff::save_tiff_u16(&g.raw, &tiff_path).unwrap();
+    zenesis::tiff::save_tiff_u16(&g.raw, &tiff_path).unwrap();
     let pgm_path = dir.join("s.pgm");
     zenesis::image::io::pgm::save_pgm_u16(&g.raw, &pgm_path).unwrap();
     let ppm_path = dir.join("s.ppm");
@@ -128,15 +128,22 @@ fn volume_tiff_file_batch() {
     std::fs::create_dir_all(&dir).unwrap();
     let v = zenesis::data::generate_volume(zenesis::data::SampleKind::Amorphous, 64, 3, 5, &[]);
     let path = dir.join("v.tif");
-    std::fs::write(
-        &path,
-        zenesis::image::io::tiff::write_tiff_volume_u16(&v.volume),
-    )
-    .unwrap();
+    zenesis::tiff::save_tiff_volume_u16(&v.volume, &path).unwrap();
+    let masks_path = dir.join("m.tif");
     let json = format!(
-        r#"{{"mode":"batch","input":{{"source":"tiff_volume_file","path":{path:?}}},"prompt":"catalyst particles"}}"#,
+        r#"{{"mode":"batch","input":{{"source":"tiff_volume_file","path":{path:?}}},"prompt":"catalyst particles","masks_out":{masks_path:?}}}"#,
     );
     let out = run(&json);
     assert_eq!(out["kind"], "volume");
     assert_eq!(out["depth"], 3);
+    // The masks the job reported and the masks it wrote to disk agree.
+    let masks = zenesis::tiff::read_mask_tiff(&std::fs::read(&masks_path).unwrap()).unwrap();
+    let pixels: Vec<usize> = masks.iter().map(|m| m.count()).collect();
+    let reported: Vec<usize> = out["per_slice_pixels"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|p| p.as_u64().unwrap() as usize)
+        .collect();
+    assert_eq!(pixels, reported);
 }

@@ -150,6 +150,7 @@ fn batch_job_emits_documented_event_stream() {
         config: None,
         checkpoint_dir: None,
         resume: true,
+        masks_out: None,
     };
     let result = run_job(&spec);
     assert!(matches!(result, JobResult::Volume { .. }));
