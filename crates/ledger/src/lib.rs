@@ -355,8 +355,11 @@ fn rel_change(base: f64, head: f64) -> f64 {
 }
 
 /// Compare two ledgers: `base` is the reference (seed / previous run),
-/// `head` the candidate. Stages and quality cells present in only one
-/// ledger are noted but never gate.
+/// `head` the candidate. Stages, counters, and quality cells present in
+/// only one ledger are noted but never gate — instrumentation grows
+/// and shrinks across revisions (new `*.lat` stages, new serve/flight
+/// counters), and a comparison must tolerate that skew rather than
+/// fail on it.
 pub fn diff(base: &Ledger, head: &Ledger, th: &DiffThresholds) -> LedgerDiff {
     let mut stages = Vec::new();
     let mut quality = Vec::new();
@@ -419,6 +422,19 @@ pub fn diff(base: &Ledger, head: &Ledger, th: &DiffThresholds) -> LedgerDiff {
     for h in &head.stages {
         if base.stage(&h.stage).is_none() {
             notes.push(format!("stage {} new in head ledger", h.stage));
+        }
+    }
+
+    // Counters never gate; one-sided ones are advisory only, so ledgers
+    // from builds with different instrumentation still diff cleanly.
+    for b in &base.counters {
+        if !head.counters.iter().any(|h| h.name == b.name) {
+            notes.push(format!("counter {} missing from head ledger", b.name));
+        }
+    }
+    for h in &head.counters {
+        if !base.counters.iter().any(|b| b.name == h.name) {
+            notes.push(format!("counter {} new in head ledger", h.name));
         }
     }
 

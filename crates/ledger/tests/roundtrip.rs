@@ -175,3 +175,42 @@ fn capture_reads_obs_registries() {
     zenesis_obs::reset();
     zenesis_obs::set_level(zenesis_obs::ObsLevel::Off);
 }
+
+#[test]
+fn one_sided_stages_and_counters_warn_but_never_gate() {
+    // Instrumentation skew across builds: the head ledger grew new
+    // serve/tiff stages and counters and lost an old one. That must
+    // surface as advisory notes only — never a regression.
+    let base = sample_ledger("base");
+    let mut head = sample_ledger("head");
+    head.stages.push(StageStat {
+        stage: "io.tiff.read_slice".into(),
+        count: 200,
+        p50_ms: 0.8,
+        p90_ms: 1.2,
+        p99_ms: 2.5,
+        mean_ms: 0.9,
+    });
+    head.counters.push(zenesis_ledger::CounterStat {
+        name: "serve.flight.dump".into(),
+        value: 1,
+    });
+    head.counters.retain(|c| c.name != "sam.embed_cache.hit");
+    base.stages
+        .iter()
+        .for_each(|s| assert!(head.stage(&s.stage).is_some()));
+
+    let d = diff(&base, &head, &DiffThresholds::default());
+    assert!(d.ok(), "one-sided entries must not gate: {:?}", d.regressions);
+    let notes = d.notes.join("\n");
+    assert!(notes.contains("stage io.tiff.read_slice new in head ledger"), "{notes}");
+    assert!(notes.contains("counter serve.flight.dump new in head ledger"), "{notes}");
+    assert!(notes.contains("counter sam.embed_cache.hit missing from head ledger"), "{notes}");
+    // And the reverse direction: a stage only in base is also a note.
+    let d = diff(&head, &base, &DiffThresholds::default());
+    assert!(d.ok());
+    assert!(d
+        .notes
+        .iter()
+        .any(|n| n.contains("stage io.tiff.read_slice missing from head ledger")));
+}

@@ -238,6 +238,9 @@ pub struct EventRecord {
     pub ts_us: u64,
     /// Thread the event was emitted from.
     pub thread: String,
+    /// The trace context installed on the emitting thread, if any —
+    /// the served job's `trace_id` (see [`crate::trace`]).
+    pub trace: Option<crate::trace::TraceId>,
     /// The event payload.
     pub event: Event,
 }
@@ -262,12 +265,27 @@ pub fn emit(event: Event) {
         seq: NEXT_SEQ.fetch_add(1, Ordering::Relaxed),
         ts_us: crate::span::epoch_elapsed_us(),
         thread: crate::span::current_thread_name(),
+        trace: crate::trace::current_trace(),
         event,
     };
+    if crate::flight::armed() {
+        crate::flight::record_event(
+            rec.ts_us,
+            &rec.thread,
+            rec.trace,
+            event_json(&rec).to_string(),
+        );
+    }
     let mut buf = buffer().lock();
     if buf.len() >= EVENT_CAP {
         buf.pop_front();
         DROPPED.fetch_add(1, Ordering::Relaxed);
+        // Mirror the drop into the registry so it shows up in ledgers,
+        // /metrics, and the serve self-report; the atomic stays the
+        // authoritative count behind `dropped_events()`. Overflow is
+        // rare, so the registry lookup is off the common path (and the
+        // registry never takes this buffer's lock — no inversion).
+        crate::metrics::counter("obs.events.dropped").inc();
     }
     buf.push_back(rec);
 }
@@ -317,6 +335,9 @@ pub fn event_json(rec: &EventRecord) -> Value {
     field(&mut m, "seq", Value::Number(Number::U(rec.seq)));
     field(&mut m, "ts_us", Value::Number(Number::U(rec.ts_us)));
     field(&mut m, "thread", Value::String(rec.thread.clone()));
+    if let Some(t) = rec.trace {
+        field(&mut m, "trace", Value::String(t.to_hex()));
+    }
     field(&mut m, "event", Value::String(rec.event.kind().to_string()));
     match &rec.event {
         Event::JobStart { mode } => {
@@ -543,6 +564,33 @@ mod tests {
         );
         reset_events();
         assert_eq!(dropped_events(), 0);
+        crate::set_level(before);
+    }
+
+    #[test]
+    fn events_carry_the_installed_trace() {
+        let _g = LOCK.lock();
+        let before = crate::level();
+        crate::set_level(ObsLevel::Spans);
+        reset_events();
+        let t = crate::trace::TraceId::from_u64(0xfeed).unwrap();
+        crate::trace::with_trace(Some(t), || info("traced"));
+        info("no context");
+        let snap = events_snapshot();
+        let traced = snap
+            .iter()
+            .find(|r| matches!(&r.event, Event::Info { message } if message == "traced"))
+            .expect("traced event recorded");
+        assert_eq!(traced.trace, Some(t));
+        let json = event_json(traced).to_string();
+        assert!(json.contains(r#""trace":"000000000000feed""#), "{json}");
+        let untraced = snap
+            .iter()
+            .find(|r| matches!(&r.event, Event::Info { message } if message == "no context"))
+            .expect("second event recorded");
+        assert_eq!(untraced.trace, None);
+        assert!(!event_json(untraced).to_string().contains(r#""trace":"#));
+        reset_events();
         crate::set_level(before);
     }
 

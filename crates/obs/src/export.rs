@@ -118,6 +118,13 @@ pub fn trace_json() -> Value {
             m.insert("thread", Value::String(s.thread.clone()));
             m.insert("start_us", Value::Number(Number::U(s.start_ns / 1_000)));
             m.insert("dur_us", Value::Number(Number::U(s.dur_ns / 1_000)));
+            m.insert(
+                "trace",
+                match s.trace {
+                    Some(t) => Value::String(t.to_hex()),
+                    None => Value::Null,
+                },
+            );
             Value::Object(m)
         })
         .collect();
@@ -213,6 +220,9 @@ pub fn chrome_trace_json() -> Value {
                 None => Value::Null,
             },
         );
+        if let Some(t) = s.trace {
+            args.insert("trace", Value::String(t.to_hex()));
+        }
         m.insert("args", Value::Object(args));
         events.push(Value::Object(m));
     }

@@ -1,0 +1,292 @@
+//! In-memory crash flight recorder: a bounded ring of recent events and
+//! span closures, dumped to JSON on job panic, volume abandonment, or
+//! fault-site firing.
+//!
+//! Post-mortems want the *last* moments before a failure, but keeping
+//! `ZENESIS_OBS=full` on in production is too expensive. The flight
+//! recorder is the middle ground: when [`arm`]ed (by
+//! `zenesis-serve --flight-dir`), every emitted event and every closed
+//! span also appends a compact entry to a sharded ring. Each shard is a
+//! small mutex-protected `VecDeque` capped at the armed capacity, with
+//! threads assigned round-robin to shards via a thread-local cached
+//! index — so recording is one uncontended-in-practice mutex plus a
+//! push/pop, and memory stays bounded no matter how long the process
+//! lives.
+//!
+//! When disarmed (the default) the hook is a single relaxed atomic
+//! load, preserving the `ZENESIS_OBS=off` cost budget.
+//!
+//! [`dump_json`] snapshots every shard, sorts by timestamp, and renders
+//! a self-describing JSON document (`version` 1); `zenesis-serve`
+//! writes it atomically (temp + rename) to
+//! `<dir>/flight-<ts>-<trace_id>.json`. Format details in
+//! `docs/OBSERVABILITY.md`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+use serde_json::{Map, Number, Value};
+
+use crate::trace::TraceId;
+
+const SHARDS: usize = 16;
+
+/// Default per-shard entry capacity used by [`arm`] callers that have
+/// no reason to pick their own.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+
+/// One recorded moment: a closed span or an emitted event.
+#[derive(Debug, Clone)]
+enum Moment {
+    /// An event, stored as its already-rendered flat JSON line.
+    Event {
+        ts_us: u64,
+        thread: String,
+        trace: Option<TraceId>,
+        json: String,
+    },
+    /// A span closure.
+    Span {
+        ts_us: u64,
+        thread: String,
+        trace: Option<TraceId>,
+        name: String,
+        dur_us: u64,
+    },
+}
+
+impl Moment {
+    fn ts_us(&self) -> u64 {
+        match self {
+            Moment::Event { ts_us, .. } | Moment::Span { ts_us, .. } => *ts_us,
+        }
+    }
+}
+
+fn shards() -> &'static [Mutex<VecDeque<Moment>>; SHARDS] {
+    static S: OnceLock<[Mutex<VecDeque<Moment>>; SHARDS]> = OnceLock::new();
+    S.get_or_init(|| std::array::from_fn(|_| Mutex::new(VecDeque::new())))
+}
+
+thread_local! {
+    static MY_SHARD: usize = {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS
+    };
+}
+
+/// Arm the recorder with `capacity` retained entries per shard
+/// (clamped to at least 16). Spans and events start feeding the ring;
+/// idempotent.
+pub fn arm(capacity: usize) {
+    CAPACITY.store(capacity.max(16), Ordering::Relaxed);
+    ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Disarm the recorder and clear the ring (test isolation).
+pub fn disarm() {
+    ARMED.store(false, Ordering::Relaxed);
+    for s in shards() {
+        s.lock().clear();
+    }
+}
+
+/// Whether the recorder is armed — the one-atomic-load fast-path gate.
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+fn push(m: Moment) {
+    let cap = CAPACITY.load(Ordering::Relaxed);
+    MY_SHARD.with(|&i| {
+        let mut ring = shards()[i].lock();
+        if ring.len() >= cap {
+            ring.pop_front();
+        }
+        ring.push_back(m);
+    });
+}
+
+/// Record an emitted event (called by `events::emit` when armed).
+pub(crate) fn record_event(ts_us: u64, thread: &str, trace: Option<TraceId>, json: String) {
+    push(Moment::Event {
+        ts_us,
+        thread: thread.to_string(),
+        trace,
+        json,
+    });
+}
+
+/// Record a span closure (called by the span guard's drop when armed).
+pub(crate) fn record_span(
+    ts_us: u64,
+    thread: &str,
+    trace: Option<TraceId>,
+    name: &str,
+    dur_us: u64,
+) {
+    push(Moment::Span {
+        ts_us,
+        thread: thread.to_string(),
+        trace,
+        name: name.to_string(),
+        dur_us,
+    });
+}
+
+/// Snapshot the ring into a self-describing JSON document.
+///
+/// `reason` names the trigger (`"job.panic"`, `"too_many_failures"`,
+/// `"fault.injected"`); `trace` is the failing job's id when known.
+/// Entries from *all* traces are included (cross-job interference is
+/// often the interesting part); each entry carries its own `trace`
+/// field for filtering.
+pub fn dump_json(reason: &str, trace: Option<TraceId>) -> String {
+    let mut moments: Vec<Moment> = Vec::new();
+    for s in shards() {
+        moments.extend(s.lock().iter().cloned());
+    }
+    moments.sort_by_key(|m| m.ts_us());
+
+    let mut doc = Map::new();
+    doc.insert("version", Value::Number(Number::U(1)));
+    doc.insert("reason", Value::String(reason.to_string()));
+    doc.insert(
+        "trace_id",
+        match trace {
+            Some(t) => Value::String(t.to_hex()),
+            None => Value::Null,
+        },
+    );
+    doc.insert(
+        "captured_at_us",
+        Value::Number(Number::U(crate::span::epoch_elapsed_us())),
+    );
+    let entries: Vec<Value> = moments
+        .into_iter()
+        .map(|m| {
+            let mut e = Map::new();
+            match m {
+                Moment::Event {
+                    ts_us,
+                    thread,
+                    trace,
+                    json,
+                } => {
+                    e.insert("kind", Value::String("event".into()));
+                    e.insert("ts_us", Value::Number(Number::U(ts_us)));
+                    e.insert("thread", Value::String(thread));
+                    if let Some(t) = trace {
+                        e.insert("trace", Value::String(t.to_hex()));
+                    }
+                    // The event is an already-rendered JSONL line; embed
+                    // it structurally, never as a double-encoded string.
+                    let ev = serde_json::from_str(&json)
+                        .unwrap_or_else(|_| Value::String(json.clone()));
+                    e.insert("event", ev);
+                }
+                Moment::Span {
+                    ts_us,
+                    thread,
+                    trace,
+                    name,
+                    dur_us,
+                } => {
+                    e.insert("kind", Value::String("span".into()));
+                    e.insert("ts_us", Value::Number(Number::U(ts_us)));
+                    e.insert("thread", Value::String(thread));
+                    if let Some(t) = trace {
+                        e.insert("trace", Value::String(t.to_hex()));
+                    }
+                    e.insert("name", Value::String(name));
+                    e.insert("dur_us", Value::Number(Number::U(dur_us)));
+                }
+            }
+            Value::Object(e)
+        })
+        .collect();
+    doc.insert("entries", Value::Array(entries));
+    serde_json::to_string_pretty(&Value::Object(doc))
+        .expect("rendering a Value tree to JSON cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_caps_dump_parses_and_disarm_clears() {
+        disarm();
+        arm(16);
+        assert!(armed());
+        let t = TraceId::from_u64(0xabc).unwrap();
+        for i in 0..100u64 {
+            record_span(i, "test-thread", Some(t), "flight.test.span", 5);
+        }
+        record_event(
+            1000,
+            "test-thread",
+            Some(t),
+            r#"{"event":"warn","message":"boom"}"#.to_string(),
+        );
+        let doc = dump_json("job.panic", Some(t));
+        let v: Value = serde_json::from_str(&doc).expect("dump must be valid JSON");
+        let obj = match &v {
+            Value::Object(m) => m,
+            other => panic!("expected object, got {other:?}"),
+        };
+        assert_eq!(obj.get("version").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            obj.get("reason").and_then(Value::as_str),
+            Some("job.panic")
+        );
+        assert_eq!(
+            obj.get("trace_id").and_then(Value::as_str),
+            Some("0000000000000abc")
+        );
+        let entries = match obj.get("entries") {
+            Some(Value::Array(a)) => a,
+            other => panic!("expected entries array, got {other:?}"),
+        };
+        // Other tests in this binary may feed the armed ring from their
+        // own threads; judge only the entries this test recorded.
+        let mine: Vec<&Map> = entries
+            .iter()
+            .filter_map(Value::as_object)
+            .filter(|m| m.get("thread").and_then(Value::as_str) == Some("test-thread"))
+            .collect();
+        // All on one thread → one shard → capped at 16 entries total
+        // (the event evicted the oldest retained span).
+        assert_eq!(mine.len(), 16, "ring must cap per-shard history");
+        // Timestamps are sorted; the event (largest ts) comes last and
+        // is embedded structurally, not double-encoded.
+        let last = mine.last().unwrap();
+        assert_eq!(last.get("kind").and_then(Value::as_str), Some("event"));
+        assert!(matches!(last.get("event"), Some(Value::Object(_))));
+        assert_eq!(
+            last.get("trace").and_then(Value::as_str),
+            Some("0000000000000abc")
+        );
+        let ts: Vec<u64> = mine
+            .iter()
+            .filter_map(|m| m.get("ts_us").and_then(Value::as_u64))
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "entries sorted by ts");
+        disarm();
+        assert!(!armed());
+        let empty = dump_json("test", None);
+        let v: Value = serde_json::from_str(&empty).unwrap();
+        if let Value::Object(m) = v {
+            assert!(matches!(m.get("entries"), Some(Value::Array(a)) if a.is_empty()));
+            assert!(matches!(m.get("trace_id"), Some(Value::Null)));
+        } else {
+            panic!("expected object");
+        }
+    }
+}

@@ -53,19 +53,24 @@
 mod config;
 pub mod events;
 pub mod export;
+pub mod flight;
 mod metrics;
 pub mod output;
+pub mod prom;
 mod span;
+pub mod trace;
 
 pub use config::{enabled, full, level, set_level, ObsLevel};
 pub use metrics::{
     counter, gauge, histogram, latency_rows, metrics_snapshot, record_ms, reset_metrics, Counter,
     Gauge, Histogram, HistogramStats, LatencyRow, MetricsSnapshot,
 };
+pub use prom::prometheus_text;
 pub use span::{
     current, reset_spans, snapshot, span, span_under, timed, with_parent, SpanGuard, SpanId,
     SpanRecord,
 };
+pub use trace::{current_trace, trace_guard, with_trace, TraceId, TraceScope};
 
 /// Clear all recorded spans, all registered metrics, and all buffered
 /// events (test isolation, or between independent benchmark runs).

@@ -107,6 +107,18 @@ fn bucket_mid(idx: usize) -> f64 {
     lo as f64 + (width.saturating_sub(1)) as f64 / 2.0
 }
 
+/// Inclusive upper bound of bucket `idx` — the largest value that
+/// [`bucket_index`] maps into it (the Prometheus `le=` bound).
+fn bucket_hi(idx: usize) -> f64 {
+    if idx < 8 {
+        return idx as f64;
+    }
+    let (e, sub) = (idx / 8, idx % 8);
+    let width = 1u64 << (e - 3);
+    let lo = (8 + sub as u64) * width;
+    (lo + (width - 1)) as f64
+}
+
 impl Histogram {
     /// A fresh, empty histogram (registry-independent; tests use this).
     pub fn new() -> Self {
@@ -161,6 +173,31 @@ impl Histogram {
             }
         }
         bucket_mid(N_BUCKETS - 1)
+    }
+
+    /// Sum of all recorded values (native unit).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bucket counts as `(upper_bound, cumulative_count)`
+    /// pairs in ascending bound order, one pair per *non-empty* bucket.
+    /// `upper_bound` is the largest value the bucket can hold, so the
+    /// pairs are exactly Prometheus `le=` cumulative buckets (monotone
+    /// non-decreasing counts by construction). Empty when no values
+    /// were recorded.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            out.push((bucket_hi(i), cum));
+        }
+        out
     }
 
     /// Point-in-time summary statistics.
@@ -328,6 +365,20 @@ pub fn latency_rows() -> Vec<LatencyRow> {
         .collect();
     rows.sort_by(|a, b| a.stage.cmp(&b.stage));
     rows
+}
+
+/// Live handles to every registered histogram, name-sorted — for
+/// renderers (the Prometheus exposition) that need bucket-level access
+/// beyond what [`HistogramStats`] summarizes.
+pub(crate) fn histogram_handles() -> Vec<(String, Arc<Histogram>)> {
+    let mut hs: Vec<(String, Arc<Histogram>)> = registry()
+        .histograms
+        .lock()
+        .iter()
+        .map(|(k, v)| (k.clone(), Arc::clone(v)))
+        .collect();
+    hs.sort_by(|a, b| a.0.cmp(&b.0));
+    hs
 }
 
 /// Unregister every metric. `Arc` handles held by callers keep working

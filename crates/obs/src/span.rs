@@ -39,6 +39,9 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// Wall-clock duration, nanoseconds.
     pub dur_ns: u64,
+    /// The trace context installed on the opening thread, if any — the
+    /// served job's `trace_id` (see [`crate::trace`]).
+    pub trace: Option<crate::trace::TraceId>,
 }
 
 fn epoch() -> Instant {
@@ -113,6 +116,7 @@ struct GuardState {
     parent: Option<SpanId>,
     name: Cow<'static, str>,
     start: Instant,
+    trace: Option<crate::trace::TraceId>,
 }
 
 impl SpanGuard {
@@ -136,7 +140,17 @@ impl Drop for SpanGuard {
             thread: thread_name(),
             start_ns: st.start.saturating_duration_since(epoch()).as_nanos() as u64,
             dur_ns,
+            trace: st.trace,
         };
+        if crate::flight::armed() {
+            crate::flight::record_span(
+                (rec.start_ns + rec.dur_ns) / 1_000,
+                &rec.thread,
+                rec.trace,
+                &rec.name,
+                rec.dur_ns / 1_000,
+            );
+        }
         registry()[st.id.0 as usize % SHARDS].lock().push(rec);
     }
 }
@@ -150,6 +164,7 @@ fn open(name: Cow<'static, str>, parent: Option<SpanId>) -> SpanGuard {
             parent,
             name,
             start: Instant::now(),
+            trace: crate::trace::current_trace(),
         }),
     }
 }

@@ -1,0 +1,191 @@
+//! Trace-context propagation: a per-job `trace_id` carried across
+//! threads so every span and event of one served job is filterable.
+//!
+//! A [`TraceId`] is minted at request ingress (`zenesis-serve`) or
+//! accepted from the wire envelope, installed on the worker thread with
+//! [`trace_guard`]/[`with_trace`], and re-installed on pool/scoped
+//! worker threads by `zenesis-par` alongside span-parent propagation.
+//! While installed, every span opened and every event emitted on the
+//! thread is tagged with the id; the serve response line echoes it.
+//!
+//! The context is a plain thread-local `Cell<u64>` — reading it costs
+//! no atomics, so the `ZENESIS_OBS=off` budget (one relaxed atomic load
+//! per hook) is unchanged.
+//!
+//! Ids render as 16 lowercase hex digits on every wire/JSON surface
+//! (`"a3f02b919c4e7d10"`); the value 0 is reserved for "no trace".
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A non-zero 64-bit trace identifier tying one job's spans, events,
+/// flight-recorder entries, and response line together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// Wrap a raw id; returns `None` for the reserved value 0.
+    pub fn from_u64(v: u64) -> Option<TraceId> {
+        if v == 0 {
+            None
+        } else {
+            Some(TraceId(v))
+        }
+    }
+
+    /// The raw 64-bit value (never 0).
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+
+    /// Mint a fresh process-unique id: a global counter mixed through
+    /// splitmix64 with per-process entropy, so ids from concurrent
+    /// server processes are distinct in practice and never 0.
+    pub fn mint() -> TraceId {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        static SEED: AtomicU64 = AtomicU64::new(0);
+        let mut seed = SEED.load(Ordering::Relaxed);
+        if seed == 0 {
+            let pid = std::process::id() as u64;
+            let t = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0x9E37_79B9_7F4A_7C15);
+            seed = splitmix64(t ^ (pid << 32) ^ pid) | 1;
+            SEED.store(seed, Ordering::Relaxed);
+        }
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let mut id = splitmix64(seed.wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        if id == 0 {
+            id = 0x5EED_5EED_5EED_5EED;
+        }
+        TraceId(id)
+    }
+
+    /// Render as 16 lowercase hex digits — the wire/JSON form.
+    pub fn to_hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parse the wire form (1–16 hex digits, case-insensitive).
+    /// Returns `None` for malformed input or the reserved value 0.
+    pub fn from_hex(s: &str) -> Option<TraceId> {
+        if s.is_empty() || s.len() > 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().and_then(TraceId::from_u64)
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+thread_local! {
+    /// The trace installed on this thread (0 = none).
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The trace currently installed on this thread, if any.
+pub fn current_trace() -> Option<TraceId> {
+    TraceId::from_u64(CURRENT.with(|c| c.get()))
+}
+
+/// RAII guard restoring the previously installed trace on drop
+/// (nesting- and panic-safe). Created by [`trace_guard`].
+#[derive(Debug)]
+pub struct TraceScope {
+    prev: u64,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+/// Install `trace` on this thread until the returned guard drops.
+/// `None` leaves the current context unchanged (still returns a guard,
+/// so call sites can install conditionally without branching).
+pub fn trace_guard(trace: Option<TraceId>) -> TraceScope {
+    CURRENT.with(|c| {
+        let prev = c.get();
+        if let Some(t) = trace {
+            c.set(t.as_u64());
+        }
+        TraceScope { prev }
+    })
+}
+
+/// Run `f` with `trace` installed on this thread (see [`trace_guard`]).
+/// This is the cross-thread propagation helper: capture
+/// [`current_trace`] on the submitting thread, call `with_trace` on the
+/// worker — the same contract as `with_parent` for spans.
+pub fn with_trace<F: FnOnce() -> R, R>(trace: Option<TraceId>, f: F) -> R {
+    let _g = trace_guard(trace);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mint_is_unique_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = TraceId::mint();
+            assert_ne!(id.as_u64(), 0);
+            assert!(seen.insert(id.as_u64()), "duplicate id {id}");
+        }
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let id = TraceId::from_u64(0x00ab_cdef_0123_4567).unwrap();
+        assert_eq!(id.to_hex(), "00abcdef01234567");
+        assert_eq!(TraceId::from_hex(&id.to_hex()), Some(id));
+        assert_eq!(TraceId::from_hex("FF"), TraceId::from_u64(255));
+        assert_eq!(TraceId::from_hex(""), None);
+        assert_eq!(TraceId::from_hex("0"), None);
+        assert_eq!(TraceId::from_hex("xyz"), None);
+        assert_eq!(TraceId::from_hex("112233445566778899"), None);
+    }
+
+    #[test]
+    fn scope_nests_and_restores() {
+        assert_eq!(current_trace(), None);
+        let a = TraceId::from_u64(1).unwrap();
+        let b = TraceId::from_u64(2).unwrap();
+        with_trace(Some(a), || {
+            assert_eq!(current_trace(), Some(a));
+            with_trace(Some(b), || assert_eq!(current_trace(), Some(b)));
+            assert_eq!(current_trace(), Some(a));
+            // None keeps the enclosing context.
+            with_trace(None, || assert_eq!(current_trace(), Some(a)));
+        });
+        assert_eq!(current_trace(), None);
+    }
+
+    #[test]
+    fn scope_restores_across_panic() {
+        let a = TraceId::from_u64(7).unwrap();
+        let r = std::panic::catch_unwind(|| {
+            let _g = trace_guard(Some(a));
+            panic!("boom");
+        });
+        assert!(r.is_err());
+        assert_eq!(current_trace(), None);
+    }
+}

@@ -14,13 +14,19 @@
 //! one relaxed atomic load plus (when a deadline exists) one monotonic
 //! clock read, cheap enough for per-slice granularity.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 struct Inner {
     cancelled: AtomicBool,
     deadline: Option<Instant>,
+    /// Raw trace id of the job this token belongs to (0 = none). Kept
+    /// as a bare `u64` so `zenesis-par`'s public API stays independent
+    /// of the obs types; the serving layer sets it from
+    /// `zenesis_obs::TraceId::as_u64` and the job layer re-installs it
+    /// on whichever thread runs the job.
+    trace: AtomicU64,
 }
 
 /// A clonable cancellation handle; see the module docs.
@@ -53,6 +59,7 @@ impl CancelToken {
             inner: Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
                 deadline: None,
+                trace: AtomicU64::new(0),
             }),
         }
     }
@@ -69,7 +76,24 @@ impl CancelToken {
             inner: Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
                 deadline: Some(deadline),
+                trace: AtomicU64::new(0),
             }),
+        }
+    }
+
+    /// Attach the owning job's raw trace id (0 clears it). Visible to
+    /// every clone; the job layer reads it back with
+    /// [`CancelToken::trace_id`] to tag spans/events on worker threads.
+    pub fn set_trace(&self, raw: u64) {
+        self.inner.trace.store(raw, Ordering::Relaxed);
+    }
+
+    /// The raw trace id attached via [`CancelToken::set_trace`]
+    /// (`None` until one is set).
+    pub fn trace_id(&self) -> Option<u64> {
+        match self.inner.trace.load(Ordering::Relaxed) {
+            0 => None,
+            raw => Some(raw),
         }
     }
 
@@ -123,6 +147,17 @@ mod tests {
         c.cancel();
         assert!(t.is_cancelled());
         assert!(!t.deadline_exceeded(), "explicit cancel is not a timeout");
+    }
+
+    #[test]
+    fn trace_id_is_shared_across_clones() {
+        let t = CancelToken::new();
+        assert_eq!(t.trace_id(), None);
+        let c = t.clone();
+        c.set_trace(0xdead_beef);
+        assert_eq!(t.trace_id(), Some(0xdead_beef));
+        t.set_trace(0);
+        assert_eq!(c.trace_id(), None);
     }
 
     #[test]

@@ -18,10 +18,14 @@ where
         return (a(), b());
     }
     // Spans opened inside `b` on the worker thread attribute to the span
-    // that called `join`, not to a detached root.
+    // that called `join`, not to a detached root — and carry the
+    // caller's trace context.
     let parent = zenesis_obs::current();
+    let trace = zenesis_obs::current_trace();
     std::thread::scope(|s| {
-        let hb = s.spawn(move || zenesis_obs::with_parent(parent, b));
+        let hb = s.spawn(move || {
+            zenesis_obs::with_trace(trace, || zenesis_obs::with_parent(parent, b))
+        });
         let ra = a();
         let rb = hb.join().expect("join closure panicked");
         (ra, rb)

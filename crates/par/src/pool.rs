@@ -132,6 +132,7 @@ impl ThreadPool {
         }
         let boxed: Job = if zenesis_obs::enabled() {
             let parent = zenesis_obs::current();
+            let trace = zenesis_obs::current_trace();
             let profiling = zenesis_obs::full();
             if profiling {
                 zenesis_obs::gauge("par.pool.queue_depth").add(1);
@@ -146,7 +147,7 @@ impl ThreadPool {
                     );
                 }
                 let t0 = Instant::now();
-                zenesis_obs::with_parent(parent, job);
+                zenesis_obs::with_trace(trace, || zenesis_obs::with_parent(parent, job));
                 if profiling {
                     zenesis_obs::record_ms("par.pool.task.lat", t0.elapsed().as_secs_f64() * 1e3);
                 }

@@ -82,6 +82,7 @@ where
     note_chunks(chunk, n_chunks);
     let next = AtomicUsize::new(0);
     let parent = zenesis_obs::current();
+    let trace = zenesis_obs::current_trace();
     // Pre-split into disjoint chunks so each worker only touches its claim.
     let chunks: Vec<&mut [T]> = data.chunks_mut(chunk).collect();
     let slots: Vec<parking_lot::Mutex<Option<&mut [T]>>> = chunks
@@ -91,7 +92,7 @@ where
     std::thread::scope(|s| {
         for _ in 0..workers.min(n_chunks) {
             s.spawn(|| {
-                zenesis_obs::with_parent(parent, || loop {
+                zenesis_obs::with_trace(trace, || zenesis_obs::with_parent(parent, || loop {
                     let c = next.fetch_add(1, Ordering::Relaxed);
                     if c >= n_chunks {
                         break;
@@ -101,7 +102,7 @@ where
                     for (off, v) in slice.iter_mut().enumerate() {
                         f(base + off, v);
                     }
-                })
+                }))
             });
         }
     });
@@ -135,6 +136,7 @@ where
     note_chunks(chunk, n_chunks);
     let next = AtomicUsize::new(0);
     let parent = zenesis_obs::current();
+    let trace = zenesis_obs::current_trace();
     let mut out: Vec<MaybeUninit<U>> = Vec::with_capacity(n);
     // SAFETY: every slot is written exactly once below before assume_init.
     #[allow(clippy::uninit_vec)]
@@ -149,7 +151,7 @@ where
         std::thread::scope(|s| {
             for _ in 0..workers.min(n_chunks) {
                 s.spawn(|| {
-                    zenesis_obs::with_parent(parent, || loop {
+                    zenesis_obs::with_trace(trace, || zenesis_obs::with_parent(parent, || loop {
                         let c = next.fetch_add(1, Ordering::Relaxed);
                         if c >= n_chunks {
                             break;
@@ -159,7 +161,7 @@ where
                         for (off, slot) in slice.iter_mut().enumerate() {
                             slot.write(f(base + off));
                         }
-                    })
+                    }))
                 });
             }
         });
@@ -199,11 +201,12 @@ where
     note_chunks(chunk, n_chunks);
     let next = AtomicUsize::new(0);
     let parent = zenesis_obs::current();
+    let trace = zenesis_obs::current_trace();
     let partials = parking_lot::Mutex::new(Vec::with_capacity(workers));
     std::thread::scope(|s| {
         for _ in 0..workers.min(n_chunks) {
             s.spawn(|| {
-                zenesis_obs::with_parent(parent, || {
+                zenesis_obs::with_trace(trace, || zenesis_obs::with_parent(parent, || {
                     let mut acc = identity();
                     let mut did_work = false;
                     loop {
@@ -221,7 +224,7 @@ where
                     if did_work {
                         partials.lock().push(acc);
                     }
-                })
+                }))
             });
         }
     });
@@ -268,6 +271,7 @@ where
     note_chunks(rows_per_band, n_bands);
     let next = AtomicUsize::new(0);
     let parent = zenesis_obs::current();
+    let trace = zenesis_obs::current_trace();
     let bands: Vec<parking_lot::Mutex<Option<&mut [T]>>> = data
         .chunks_mut(rows_per_band * row_len)
         .map(|c| parking_lot::Mutex::new(Some(c)))
@@ -275,14 +279,14 @@ where
     std::thread::scope(|s| {
         for _ in 0..workers.min(n_bands) {
             s.spawn(|| {
-                zenesis_obs::with_parent(parent, || loop {
+                zenesis_obs::with_trace(trace, || zenesis_obs::with_parent(parent, || loop {
                     let b = next.fetch_add(1, Ordering::Relaxed);
                     if b >= n_bands {
                         break;
                     }
                     let band = bands[b].lock().take().expect("band claimed twice");
                     f(b * rows_per_band, band);
-                })
+                }))
             });
         }
     });

@@ -16,13 +16,21 @@
 //!   failures;
 //! * **graceful shutdown** that drains accepted jobs before exiting.
 //!
+//! The telemetry plane rides alongside: every request carries a trace
+//! id (caller-supplied or minted at admission) that tags all spans and
+//! events the job produces; the [`http`] sidecar exposes `/metrics`,
+//! `/healthz`, and `/readyz`; and a crash flight recorder dumps the
+//! last moments of a failing job to disk (see `docs/OBSERVABILITY.md`).
+//!
 //! The `zenesis-serve` binary speaks the protocol over stdin/stdout
 //! (pipe mode) and over TCP (`--tcp ADDR`); see `docs/SERVING.md`.
 
+pub mod http;
 pub mod proto;
 pub mod queue;
 pub mod server;
 
+pub use http::start_metrics_http;
 pub use proto::{parse_request, Request, Response};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{JobRunner, ServeConfig, Server};

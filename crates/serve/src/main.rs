@@ -7,12 +7,20 @@
 //! zenesis-serve [--workers N] [--queue-cap N] [--deadline-ms MS]
 //!               [--max-retries N] [--retry-base-ms MS]
 //!               [--tcp ADDR] [--events-out F] [--ledger-out F]
-//!               [--label NAME] < jobs.jsonl > results.jsonl
+//!               [--label NAME] [--metrics-addr ADDR]
+//!               [--stats-interval SECS] [--flight-dir DIR]
+//!               < jobs.jsonl > results.jsonl
 //! ```
 //!
 //! TCP mode (`--tcp 127.0.0.1:7878`): every connection speaks the same
 //! line protocol; responses go back on the submitting connection.
 //! Observability sinks are written at exit, exactly like `zenesis-cli`.
+//!
+//! The telemetry plane (`docs/OBSERVABILITY.md`): `--metrics-addr`
+//! starts the HTTP sidecar (`/metrics`, `/healthz`, `/readyz`),
+//! `--stats-interval` prints a one-line self-report to stderr every N
+//! seconds, and `--flight-dir` arms the crash flight recorder. Each of
+//! these implies `ZENESIS_OBS=spans` when the variable is unset.
 
 use std::io::{BufRead, BufReader, Write};
 use std::sync::Arc;
@@ -92,7 +100,10 @@ fn main() {
              \x20 --tcp ADDR         serve a TCP listener instead of stdin/stdout\n\
              \x20 --events-out F     write the job.* event stream as JSONL at exit\n\
              \x20 --ledger-out F     write a run ledger (latencies + counters) at exit\n\
-             \x20 --label NAME       ledger label (default \"serve\")"
+             \x20 --label NAME       ledger label (default \"serve\")\n\
+             \x20 --metrics-addr A   HTTP sidecar serving /metrics /healthz /readyz\n\
+             \x20 --stats-interval S one-line self-report to stderr every S seconds\n\
+             \x20 --flight-dir DIR   arm the crash flight recorder; dumps go to DIR"
         );
         return;
     }
@@ -103,7 +114,19 @@ fn main() {
         label: take_flag_value(&mut args, "--label").unwrap_or_else(|| "serve".into()),
         started: Instant::now(),
     };
-    if (sinks.events_out.is_some() || sinks.ledger_out.is_some())
+    let metrics_addr = take_flag_value(&mut args, "--metrics-addr");
+    let stats_interval: Option<u64> = parse_num(
+        "--stats-interval",
+        take_flag_value(&mut args, "--stats-interval"),
+    );
+    let flight_dir = take_flag_value(&mut args, "--flight-dir");
+    // Any telemetry consumer needs at least span-level recording; honor
+    // an explicit ZENESIS_OBS but default it up when one is requested.
+    if (sinks.events_out.is_some()
+        || sinks.ledger_out.is_some()
+        || metrics_addr.is_some()
+        || stats_interval.is_some()
+        || flight_dir.is_some())
         && std::env::var_os("ZENESIS_OBS").is_none()
     {
         zenesis_obs::set_level(zenesis_obs::ObsLevel::Spans);
@@ -127,24 +150,65 @@ fn main() {
     ) {
         config.retry_base_ms = n;
     }
+    config.flight_dir = flight_dir;
     let tcp = take_flag_value(&mut args, "--tcp");
     if let Some(stray) = args.first() {
         eprintln!("unknown argument {stray:?} (see --help)");
         std::process::exit(2);
     }
 
-    let server = Server::start(config);
+    let server = Arc::new(Server::start(config));
+    if let Some(addr) = &metrics_addr {
+        let probe_dir = server.config().flight_dir.clone();
+        match zenesis_serve::start_metrics_http(addr, Arc::clone(&server), probe_dir) {
+            Ok(bound) => eprintln!("telemetry sidecar on http://{bound} (/metrics /healthz /readyz)"),
+            Err(e) => {
+                eprintln!("cannot bind metrics listener {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(secs) = stats_interval {
+        start_stats_reporter(Arc::clone(&server), secs.max(1));
+    }
     match tcp {
         Some(addr) => serve_tcp(server, &addr),
-        None => serve_pipe(server),
+        None => serve_pipe(&server),
     }
     sinks.write();
+}
+
+/// Print a one-line self-report to stderr every `secs` seconds:
+/// queue depth, response counts by status, and the p99s of queue wait
+/// and job execution. Runs on a detached thread — it dies with the
+/// process and never blocks serving.
+fn start_stats_reporter(server: Arc<Server>, secs: u64) {
+    std::thread::Builder::new()
+        .name("serve-stats".into())
+        .spawn(move || loop {
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+            let qdepth = server.queue_depth();
+            let ok = zenesis_obs::counter("serve.job.ok").get();
+            let err = zenesis_obs::counter("serve.job.error").get();
+            let busy = zenesis_obs::counter("serve.job.busy").get();
+            let timeout = zenesis_obs::counter("serve.job.timeout").get();
+            let panic = zenesis_obs::counter("serve.job.panic").get();
+            // Histograms store microseconds (see zenesis_obs::record_ms).
+            let wait_p99_ms = zenesis_obs::histogram("serve.queue_wait.lat").stats().p99 / 1e3;
+            let run_p99_ms = zenesis_obs::histogram("serve.job.lat").stats().p99 / 1e3;
+            eprintln!(
+                "[serve-stats] qdepth={qdepth} ok={ok} error={err} busy={busy} \
+                 timeout={timeout} panic={panic} \
+                 queue_p99_ms={wait_p99_ms:.2} run_p99_ms={run_p99_ms:.2}"
+            );
+        })
+        .expect("spawn stats reporter");
 }
 
 /// Pipe mode: stdin lines in, stdout lines out. A writer thread owns
 /// stdout so slow jobs never block submission, and EOF triggers a
 /// graceful drain (every accepted job still answers).
-fn serve_pipe(server: Server) {
+fn serve_pipe(server: &Server) {
     let (tx, rx) = crossbeam::channel::unbounded::<zenesis_serve::Response>();
     let writer = std::thread::spawn(move || {
         let stdout = std::io::stdout();
@@ -178,7 +242,7 @@ fn serve_pipe(server: Server) {
 
 /// TCP mode: one protocol session per connection, all feeding the same
 /// shared worker pool and bounded queue.
-fn serve_tcp(server: Server, addr: &str) {
+fn serve_tcp(server: Arc<Server>, addr: &str) {
     let listener = match std::net::TcpListener::bind(addr) {
         Ok(l) => l,
         Err(e) => {
@@ -187,7 +251,6 @@ fn serve_tcp(server: Server, addr: &str) {
         }
     };
     eprintln!("zenesis-serve listening on {addr}");
-    let server = Arc::new(server);
     let mut sessions = Vec::new();
     for conn in listener.incoming() {
         let stream = match conn {

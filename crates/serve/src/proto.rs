@@ -20,11 +20,19 @@
 //! counts against it — a job that waited out its whole budget in the
 //! queue reports `timeout` without occupying a worker for real work.
 //!
+//! An envelope may also carry `"trace_id"`: 1–16 hex digits naming the
+//! caller's trace context. When present (and valid) the server adopts it;
+//! otherwise it mints a fresh id at admission. Either way every response
+//! echoes the 16-hex-digit `trace_id`, and every span and event the job
+//! produces — across queue wait, worker threads, and the parallel
+//! runtime — carries the same id (see `docs/OBSERVABILITY.md`).
+//!
 //! Every response is one compact JSON object:
 //!
 //! ```json
-//! {"id": 7, "status": "ok", "attempts": 1, "queue_ms": 0.4,
-//!  "run_ms": 113.0, "result": {"kind": "slice", ...}}
+//! {"id": 7, "status": "ok", "trace_id": "92d3f0a1c44be977",
+//!  "attempts": 1, "queue_ms": 0.4, "run_ms": 113.0,
+//!  "result": {"kind": "slice", ...}}
 //! ```
 //!
 //! `status` is the four-way failure taxonomy: `ok` (completed work),
@@ -34,6 +42,7 @@
 
 use serde_json::{Map, Number, Value};
 use zenesis_core::job::{JobResult, JobSpec};
+use zenesis_obs::TraceId;
 
 /// A parsed request line.
 #[derive(Debug, Clone)]
@@ -42,24 +51,34 @@ pub struct Request {
     pub id: u64,
     /// Per-job deadline override in milliseconds.
     pub deadline_ms: Option<u64>,
+    /// Trace context supplied by the caller (`"trace_id"` hex field in
+    /// the envelope); `None` means the server mints one at admission.
+    pub trace: Option<TraceId>,
     /// The job to run.
     pub spec: JobSpec,
 }
 
 /// Parse one request line. `fallback_id` (the server's line counter) is
-/// used when the line is bare or the envelope omits `id`.
+/// used when the line is bare or the envelope omits `id`. A malformed
+/// `trace_id` is treated as absent (the server mints a fresh one) — a
+/// bad trace hint must not reject an otherwise valid job.
 pub fn parse_request(line: &str, fallback_id: u64) -> Result<Request, String> {
     let v: Value = serde_json::from_str(line).map_err(|e| format!("invalid job spec: {e}"))?;
     let is_envelope = v.as_object().is_some_and(|o| o.contains_key("spec"));
     if is_envelope {
         let id = v.get("id").and_then(|x| x.as_u64()).unwrap_or(fallback_id);
         let deadline_ms = v.get("deadline_ms").and_then(|x| x.as_u64());
+        let trace = v
+            .get("trace_id")
+            .and_then(|x| x.as_str())
+            .and_then(TraceId::from_hex);
         let spec_value = v.get("spec").expect("envelope has spec");
         let spec: JobSpec = serde_json::from_value(spec_value)
             .map_err(|e| format!("invalid job spec: {e}"))?;
         Ok(Request {
             id,
             deadline_ms,
+            trace,
             spec,
         })
     } else {
@@ -68,6 +87,7 @@ pub fn parse_request(line: &str, fallback_id: u64) -> Result<Request, String> {
         Ok(Request {
             id: fallback_id,
             deadline_ms: None,
+            trace: None,
             spec,
         })
     }
@@ -78,6 +98,10 @@ pub fn parse_request(line: &str, fallback_id: u64) -> Result<Request, String> {
 pub struct Response {
     /// Correlation id of the request this answers.
     pub id: u64,
+    /// Trace id of the request (caller-supplied or server-minted);
+    /// echoed as 16 hex digits so clients can join their responses
+    /// against the event stream and Chrome traces.
+    pub trace: TraceId,
     /// Execution attempts (0 when the job never reached a worker:
     /// parse errors and load sheds).
     pub attempts: u32,
@@ -107,6 +131,7 @@ impl Response {
         let mut m = Map::new();
         m.insert("id", Value::Number(Number::U(self.id)));
         m.insert("status", Value::String(self.status().to_string()));
+        m.insert("trace_id", Value::String(self.trace.to_hex()));
         m.insert("attempts", Value::Number(Number::U(self.attempts as u64)));
         m.insert("queue_ms", Value::Number(Number::F(self.queue_ms)));
         m.insert("run_ms", Value::Number(Number::F(self.run_ms)));
@@ -140,6 +165,20 @@ mod tests {
         let req = parse_request(&line, 42).unwrap();
         assert_eq!(req.id, 9);
         assert_eq!(req.deadline_ms, Some(1500));
+        assert_eq!(req.trace, None);
+    }
+
+    #[test]
+    fn envelope_trace_id_accepted_and_bad_hex_ignored() {
+        let line = format!(r#"{{"id": 1, "trace_id": "00ab3F", "spec": {BARE}}}"#);
+        let req = parse_request(&line, 0).unwrap();
+        assert_eq!(req.trace.unwrap().to_hex(), "000000000000ab3f");
+        // Malformed trace hints degrade to "mint one", never reject.
+        for bad in [r#""zz""#, r#""""#, r#""00112233445566778899""#, "17"] {
+            let line = format!(r#"{{"id": 1, "trace_id": {bad}, "spec": {BARE}}}"#);
+            let req = parse_request(&line, 0).unwrap();
+            assert_eq!(req.trace, None, "trace_id {bad} should be ignored");
+        }
     }
 
     #[test]
@@ -234,6 +273,7 @@ mod tests {
     fn response_line_is_one_json_object() {
         let resp = Response {
             id: 3,
+            trace: TraceId::from_u64(0xfeed).unwrap(),
             attempts: 1,
             queue_ms: 0.5,
             run_ms: 12.0,
@@ -247,6 +287,10 @@ mod tests {
         assert_eq!(v.get("id").and_then(|x| x.as_u64()), Some(3));
         assert_eq!(v.get("status").and_then(|x| x.as_str()), Some("error"));
         assert_eq!(
+            v.get("trace_id").and_then(|x| x.as_str()),
+            Some("000000000000feed")
+        );
+        assert_eq!(
             v.get("result")
                 .and_then(|r| r.get("message"))
                 .and_then(|x| x.as_str()),
@@ -258,6 +302,7 @@ mod tests {
     fn status_taxonomy_covers_all_variants() {
         let mk = |result| Response {
             id: 0,
+            trace: TraceId::mint(),
             attempts: 0,
             queue_ms: 0.0,
             run_ms: 0.0,

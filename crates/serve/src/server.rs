@@ -31,6 +31,7 @@ use crossbeam::channel::Sender;
 use parking_lot::Mutex;
 use zenesis_core::job::{run_job_with_cancel, JobResult, JobSpec};
 use zenesis_obs::events::{self, Event};
+use zenesis_obs::TraceId;
 use zenesis_par::CancelToken;
 
 use crate::proto::{parse_request, Response};
@@ -50,6 +51,11 @@ pub struct ServeConfig {
     pub max_retries: u32,
     /// First retry backoff; doubles per attempt.
     pub retry_base_ms: u64,
+    /// Directory for crash flight recordings. `Some` arms the in-memory
+    /// flight ring ([`zenesis_obs::flight`]) and dumps it as
+    /// `flight-<unix-secs>-<trace>.json` whenever a job panics, abandons
+    /// a volume (`TooManyFailures`), or ran with injected faults.
+    pub flight_dir: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +68,7 @@ impl Default for ServeConfig {
             default_deadline_ms: None,
             max_retries: 2,
             retry_base_ms: 25,
+            flight_dir: None,
         }
     }
 }
@@ -73,6 +80,7 @@ pub type JobRunner = Arc<dyn Fn(&JobSpec, &CancelToken) -> JobResult + Send + Sy
 
 struct QueuedJob {
     id: u64,
+    trace: TraceId,
     spec: JobSpec,
     deadline: Option<Instant>,
     submitted: Instant,
@@ -95,6 +103,9 @@ impl Server {
     /// Start workers with an injected runner (test hook: panics, fake
     /// transient failures, instrumented latencies).
     pub fn start_with_runner(config: ServeConfig, runner: JobRunner) -> Server {
+        if config.flight_dir.is_some() {
+            zenesis_obs::flight::arm(zenesis_obs::flight::DEFAULT_CAPACITY);
+        }
         let queue = BoundedQueue::new(config.queue_cap);
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -124,6 +135,22 @@ impl Server {
         self.queue.len()
     }
 
+    /// Admission capacity of the bounded queue.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// Worker threads still running. Anything below the configured
+    /// count means a worker died outside the panic isolation (a bug);
+    /// the `/readyz` endpoint reports not-ready at zero.
+    pub fn workers_alive(&self) -> usize {
+        self.workers
+            .lock()
+            .iter()
+            .filter(|h| !h.is_finished())
+            .count()
+    }
+
     /// Submit one raw request line. Exactly one [`Response`] will be
     /// sent on `reply` for it — immediately for parse errors and load
     /// sheds, from a worker otherwise. Blank lines are the caller's to
@@ -134,6 +161,7 @@ impl Server {
             Err(message) => {
                 let _ = reply.send(Response {
                     id: fallback_id,
+                    trace: TraceId::mint(),
                     attempts: 0,
                     queue_ms: 0.0,
                     run_ms: 0.0,
@@ -142,6 +170,11 @@ impl Server {
                 return;
             }
         };
+        // Ingress is where the trace context is fixed for the job's
+        // whole life: adopt the caller's id or mint one, then tag even
+        // the admission-path events with it.
+        let trace = req.trace.unwrap_or_else(TraceId::mint);
+        let _trace_scope = zenesis_obs::trace_guard(Some(trace));
         let now = Instant::now();
         let deadline = req
             .deadline_ms
@@ -149,6 +182,7 @@ impl Server {
             .map(|ms| now + Duration::from_millis(ms));
         let job = QueuedJob {
             id: req.id,
+            trace,
             spec: req.spec,
             deadline,
             submitted: now,
@@ -175,6 +209,7 @@ impl Server {
                 }
                 let _ = job.reply.send(Response {
                     id: job.id,
+                    trace,
                     attempts: 0,
                     queue_ms: 0.0,
                     run_ms: 0.0,
@@ -228,6 +263,12 @@ fn is_transient(result: &JobResult) -> bool {
 
 fn worker_loop(queue: &BoundedQueue<QueuedJob>, runner: &JobRunner, cfg: &ServeConfig) {
     while let Some(job) = queue.pop() {
+        // Re-install the job's trace on this worker thread: every span
+        // and event below (including the retry/panic bookkeeping here)
+        // carries the id minted or adopted at ingress. The token carries
+        // it too, so the pipeline can re-install it on threads the
+        // worker hands work to.
+        let _trace_scope = zenesis_obs::trace_guard(Some(job.trace));
         let obs = zenesis_obs::enabled();
         if obs {
             zenesis_obs::gauge("serve.queue_depth").set(queue.len() as i64);
@@ -240,6 +281,15 @@ fn worker_loop(queue: &BoundedQueue<QueuedJob>, runner: &JobRunner, cfg: &ServeC
             Some(at) => CancelToken::with_deadline_at(at),
             None => CancelToken::new(),
         };
+        cancel.set_trace(job.trace.as_u64());
+        // Flight trigger 3 is "faults fired during this job": snapshot
+        // the injection counter so the delta is per-job. Only paid when
+        // a flight directory is configured.
+        let faults_before = cfg
+            .flight_dir
+            .is_some()
+            .then(|| zenesis_obs::counter("fault.injected").get());
+        let mut panicked = false;
         let run_started = Instant::now();
         let mut attempts = 0u32;
         let result = loop {
@@ -247,6 +297,7 @@ fn worker_loop(queue: &BoundedQueue<QueuedJob>, runner: &JobRunner, cfg: &ServeC
             match catch_unwind(AssertUnwindSafe(|| runner(&job.spec, &cancel))) {
                 Err(payload) => {
                     let message = panic_message(payload.as_ref());
+                    panicked = true;
                     if obs {
                         events::emit(Event::JobPanic {
                             id: job.id,
@@ -302,12 +353,58 @@ fn worker_loop(queue: &BoundedQueue<QueuedJob>, runner: &JobRunner, cfg: &ServeC
                 }
             }
         }
+        if let Some(dir) = cfg.flight_dir.as_deref() {
+            let faults_fired = zenesis_obs::counter("fault.injected")
+                .get()
+                .saturating_sub(faults_before.unwrap_or(0));
+            let reason = if panicked {
+                Some("panic")
+            } else if matches!(
+                &result,
+                JobResult::Error { message } if message.contains("slices failed")
+            ) {
+                // `VolumeError::TooManyFailures` renders as
+                // "volume abandoned: {n}/{m} slices failed".
+                Some("too_many_failures")
+            } else if faults_fired > 0 {
+                Some("fault_injected")
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                dump_flight(dir, reason, job.trace);
+            }
+        }
         let _ = job.reply.send(Response {
             id: job.id,
+            trace: job.trace,
             attempts,
             queue_ms,
             run_ms,
             result,
         });
+    }
+}
+
+/// Write the armed flight ring to `<dir>/flight-<unix-secs>-<trace>.json`
+/// (atomically: temp file + rename). Failures are reported to stderr but
+/// never disturb the job's response — the flight recorder is best-effort
+/// forensics, not part of the serving contract.
+fn dump_flight(dir: &str, reason: &str, trace: TraceId) {
+    if !zenesis_obs::flight::armed() {
+        return;
+    }
+    let json = zenesis_obs::flight::dump_json(reason, Some(trace));
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let path = std::path::Path::new(dir).join(format!("flight-{ts}-{}.json", trace.to_hex()));
+    match zenesis_obs::output::write_atomic(&path, json) {
+        Ok(()) => {
+            zenesis_obs::counter("serve.flight.dump").inc();
+            eprintln!("flight recording written to {}", path.display());
+        }
+        Err(e) => eprintln!("failed to write flight recording {}: {e}", path.display()),
     }
 }

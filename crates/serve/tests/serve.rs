@@ -57,6 +57,7 @@ fn config(workers: usize, queue_cap: usize) -> ServeConfig {
         default_deadline_ms: None,
         max_retries: 2,
         retry_base_ms: 1,
+        flight_dir: None,
     }
 }
 

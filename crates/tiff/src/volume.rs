@@ -7,9 +7,12 @@
 //! larger than RAM with peak residency bounded by O(one slice).
 //!
 //! Reads pass through the `io.tiff` fault-injection site and are
-//! instrumented with `io.tiff.*` spans and counters.
+//! instrumented with `io.tiff.*` spans and counters, plus the
+//! `io.tiff.{open,read_slice}.lat` histograms that feed the repro
+//! latency table, run ledgers, and the `/metrics` exposition.
 
 use std::path::Path;
+use std::time::Instant;
 
 use zenesis_image::Image;
 
@@ -35,14 +38,24 @@ impl VolumeReader {
     /// reading any pixel payloads.
     pub fn open(path: impl AsRef<Path>) -> Result<VolumeReader> {
         let _span = zenesis_obs::span("io.tiff.open");
+        let t0 = zenesis_obs::enabled().then(Instant::now);
         let src = FileSource::open(path)?;
-        VolumeReader::from_source(Source::File(src))
+        let reader = VolumeReader::from_source(Source::File(src));
+        if let Some(t0) = t0 {
+            zenesis_obs::record_ms("io.tiff.open.lat", t0.elapsed().as_secs_f64() * 1e3);
+        }
+        reader
     }
 
     /// Open an in-memory stack (tests, serve payloads).
     pub fn from_bytes(data: Vec<u8>) -> Result<VolumeReader> {
         let _span = zenesis_obs::span("io.tiff.open");
-        VolumeReader::from_source(Source::Mem(data))
+        let t0 = zenesis_obs::enabled().then(Instant::now);
+        let reader = VolumeReader::from_source(Source::Mem(data));
+        if let Some(t0) = t0 {
+            zenesis_obs::record_ms("io.tiff.open.lat", t0.elapsed().as_secs_f64() * 1e3);
+        }
+        reader
     }
 
     fn from_source(src: Source) -> Result<VolumeReader> {
@@ -115,8 +128,12 @@ impl VolumeReader {
             return Err(TiffError::Injected);
         }
         let _span = zenesis_obs::span("io.tiff.read_slice");
+        let t0 = zenesis_obs::enabled().then(Instant::now);
         let page = &self.pages[z];
         let decoded = decode_page(&self.src, page, self.endian)?;
+        if let Some(t0) = t0 {
+            zenesis_obs::record_ms("io.tiff.read_slice.lat", t0.elapsed().as_secs_f64() * 1e3);
+        }
         zenesis_obs::counter("io.tiff.slices_read").inc();
         zenesis_obs::counter("io.tiff.bytes_read")
             .add((page.width as u64) * (page.height as u64) * page.bps() as u64);

@@ -208,3 +208,28 @@ proptest! {
         }
     }
 }
+
+#[test]
+fn volume_io_latencies_feed_the_stage_table() {
+    // The open/read histograms are the hook that puts TIFF I/O into the
+    // repro latency table, run ledgers, and the /metrics exposition:
+    // after streaming a stack, `io.tiff.{open,read_slice}` must show up
+    // as `*.lat`-backed stage rows.
+    zenesis_obs::set_level(zenesis_obs::ObsLevel::Spans);
+    let opts = EncodeOptions {
+        bigtiff: false,
+        layout: EncodeLayout::Strips { rows_per_strip: 8 },
+    };
+    let pages: Vec<TiffPage> = (0..3)
+        .map(|z| TiffPage::U16(Image::from_fn(16, 16, move |x, y| (x + y + z) as u16)))
+        .collect();
+    let reader = VolumeReader::from_bytes(encode(opts, &pages)).unwrap();
+    for z in 0..reader.depth() {
+        reader.read_slice(z).unwrap();
+    }
+    let rows = zenesis_obs::latency_rows();
+    let open = rows.iter().find(|r| r.stage == "io.tiff.open");
+    assert!(open.is_some_and(|r| r.count >= 1), "{rows:?}");
+    let read = rows.iter().find(|r| r.stage == "io.tiff.read_slice");
+    assert!(read.is_some_and(|r| r.count >= 3), "{rows:?}");
+}

@@ -23,6 +23,9 @@
 //! # print example job specs
 //! cargo run --release --bin zenesis-cli -- --examples
 //!
+//! # snapshot the telemetry of a running zenesis-serve instance
+//! cargo run --release --bin zenesis-cli -- obs-dump --metrics-addr 127.0.0.1:9100
+//!
 //! # write a span/metric trace alongside the job result
 //! cargo run --release --bin zenesis-cli -- job.json --trace-out trace.json
 //!
@@ -207,8 +210,61 @@ fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
     }
 }
 
+/// `obs-dump`: print a Prometheus-format telemetry snapshot to stdout.
+///
+/// With `--metrics-addr HOST:PORT` it scrapes the `/metrics` endpoint of
+/// a running `zenesis-serve` telemetry sidecar (a hand-rolled HTTP GET —
+/// same zero-dependency budget as the sidecar itself); without it, the
+/// current process's own registry is rendered, which is how smoke tests
+/// check the exposition without standing up a server.
+fn obs_dump(metrics_addr: Option<String>) -> ! {
+    let Some(addr) = metrics_addr else {
+        print!("{}", zenesis::obs::prometheus_text());
+        std::process::exit(0);
+    };
+    let body = (|| -> std::io::Result<String> {
+        let mut stream = std::net::TcpStream::connect(&addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        std::io::Write::write_all(
+            &mut stream,
+            format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )?;
+        let mut text = String::new();
+        stream.read_to_string(&mut text)?;
+        let (head, body) = text.split_once("\r\n\r\n").ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed HTTP response")
+        })?;
+        let status = head.lines().next().unwrap_or("");
+        if !status.contains("200") {
+            return Err(std::io::Error::other(format!("scrape failed: {status}")));
+        }
+        Ok(body.to_string())
+    })();
+    match body {
+        Ok(text) => {
+            print!("{text}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("obs-dump: cannot scrape {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "obs-dump") {
+        args.remove(0);
+        let metrics_addr = take_flag_value(&mut args, "--metrics-addr");
+        if let Some(stray) = args.first() {
+            eprintln!("obs-dump: unknown argument {stray:?} (only --metrics-addr HOST:PORT)");
+            std::process::exit(2);
+        }
+        obs_dump(metrics_addr);
+    }
     let sinks = ObsSinks {
         trace_out: take_flag_value(&mut args, "--trace-out"),
         trace_format: take_flag_value(&mut args, "--trace-format").unwrap_or_else(|| "json".into()),
