@@ -15,6 +15,8 @@ fn instant_runner() -> JobRunner {
         depth: 1,
         corrections: 0,
         per_slice_pixels: vec![1],
+        degraded: vec![],
+        failed: vec![],
     })
 }
 
@@ -25,6 +27,7 @@ fn config(workers: usize, queue_cap: usize) -> ServeConfig {
         default_deadline_ms: None,
         max_retries: 0,
         retry_base_ms: 1,
+        flight_dir: None,
     }
 }
 

@@ -123,6 +123,19 @@ impl std::fmt::Display for VolumeError {
 
 impl std::error::Error for VolumeError {}
 
+impl VolumeError {
+    /// True when `message` is the rendered form of
+    /// [`VolumeError::TooManyFailures`]. Abort conditions cross the job
+    /// boundary flattened into a `JobResult::Error` message, so
+    /// downstream triggers (the serve-side flight recorder) need a
+    /// stable classifier; keeping it here, beside the `Display` impl it
+    /// mirrors — and pinned to it by a unit test below — means the
+    /// message cannot be reworded without this classifier following.
+    pub fn message_is_too_many_failures(message: &str) -> bool {
+        message.starts_with("volume abandoned:")
+    }
+}
+
 /// A volume run was cancelled (deadline or explicit stop) before every
 /// slice finished; carries the partial progress for the timeout result.
 #[derive(Debug)]
@@ -753,6 +766,30 @@ mod tests {
 
     fn b(x0: usize, y0: usize, x1: usize, y1: usize) -> BoxRegion {
         BoxRegion::new(x0, y0, x1, y1)
+    }
+
+    /// Pins `message_is_too_many_failures` to the `Display` impl it
+    /// classifies: rewording the error text must update both together.
+    #[test]
+    fn too_many_failures_classifier_matches_display() {
+        let rendered = VolumeError::TooManyFailures {
+            failed: 3,
+            total: 4,
+        }
+        .to_string();
+        assert!(VolumeError::message_is_too_many_failures(&rendered));
+        for other in [
+            VolumeError::Checkpoint("disk full".into()).to_string(),
+            VolumeError::Cancelled(VolumeCancelled {
+                completed: 1,
+                total: 4,
+                per_slice_pixels: vec![1],
+            })
+            .to_string(),
+            "job panicked: boom".to_string(),
+        ] {
+            assert!(!VolumeError::message_is_too_many_failures(&other), "{other}");
+        }
     }
 
     #[test]

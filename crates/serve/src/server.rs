@@ -357,14 +357,16 @@ fn worker_loop(queue: &BoundedQueue<QueuedJob>, runner: &JobRunner, cfg: &ServeC
             let faults_fired = zenesis_obs::counter("fault.injected")
                 .get()
                 .saturating_sub(faults_before.unwrap_or(0));
+            // `panicked` is final, not transient: a panic breaks the
+            // attempt loop above immediately (panics are never retried),
+            // so it can only be true when `result` is the panic error.
             let reason = if panicked {
                 Some("panic")
             } else if matches!(
                 &result,
-                JobResult::Error { message } if message.contains("slices failed")
+                JobResult::Error { message }
+                    if zenesis_core::temporal::VolumeError::message_is_too_many_failures(message)
             ) {
-                // `VolumeError::TooManyFailures` renders as
-                // "volume abandoned: {n}/{m} slices failed".
                 Some("too_many_failures")
             } else if faults_fired > 0 {
                 Some("fault_injected")

@@ -166,6 +166,58 @@ fn concurrent_jobs_keep_their_own_trace_on_spans_and_events() {
     assert_eq!(span_traces, expected);
 }
 
+/// Cross-crate pin of the abandonment trigger: the flight recorder
+/// classifies a rendered `VolumeError::TooManyFailures` (flattened into
+/// a `JobResult::Error` at the job boundary) via
+/// `VolumeError::message_is_too_many_failures`, so this test fails if
+/// the core error text and the serve-side classifier ever drift apart.
+#[test]
+fn abandoned_volume_dumps_a_too_many_failures_flight_recording() {
+    let dir = std::env::temp_dir().join(format!(
+        "zenesis-flight-abandon-test-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let runner: JobRunner = Arc::new(|_, _| JobResult::Error {
+        message: zenesis_core::temporal::VolumeError::TooManyFailures {
+            failed: 3,
+            total: 4,
+        }
+        .to_string(),
+    });
+    let server = Server::start_with_runner(
+        config(1, 4, Some(dir.to_string_lossy().into_owned())),
+        runner,
+    );
+    let (tx, rx) = unbounded::<Response>();
+    server.submit_line(&envelope(1, Some("abad"), "abandon"), 1, &tx);
+    server.shutdown();
+    let resp = recv_within(&rx, Duration::from_secs(10));
+    assert_eq!(resp.status(), "error");
+
+    let flight = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .find(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            name.starts_with("flight-") && name.ends_with("-000000000000abad.json")
+        })
+        .expect("flight file written on volume abandonment");
+    let text = std::fs::read_to_string(flight.path()).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&text).expect("flight dump parses");
+    assert_eq!(
+        v.get("reason").and_then(|x| x.as_str()),
+        Some("too_many_failures")
+    );
+    assert_eq!(
+        v.get("trace_id").and_then(|x| x.as_str()),
+        Some("000000000000abad")
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn panicking_job_dumps_a_parseable_flight_recording() {
     zenesis_obs::set_level(zenesis_obs::ObsLevel::Spans);
