@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use zenesis_core::job::JobResult;
-use zenesis_serve::{BoundedQueue, JobRunner, ServeConfig, Server};
+use zenesis_serve::{BoundedQueue, JobRunner, Lane, ServeConfig, Server};
 
 fn instant_runner() -> JobRunner {
     Arc::new(|_spec, _cancel| JobResult::Volume {
@@ -24,6 +24,7 @@ fn config(workers: usize, queue_cap: usize) -> ServeConfig {
     ServeConfig {
         workers,
         queue_cap,
+        tenant_cap: 0,
         default_deadline_ms: None,
         max_retries: 0,
         retry_base_ms: 1,
@@ -82,16 +83,62 @@ fn bench_queue_ops(c: &mut Criterion) {
     let q = BoundedQueue::new(1024);
     c.bench_function("bounded_queue_push_pop", |b| {
         b.iter(|| {
-            q.try_push(7u64).expect("queue has room");
+            q.try_push(7u64, Lane::Batch).expect("queue has room");
             q.pop().expect("just pushed")
         })
     });
 }
 
+/// Round-trip latency through the TCP mux while many idle connections
+/// sit in the reactor's poll set — the readiness-driven front end's
+/// per-request overhead must not grow with connection count.
+#[cfg(unix)]
+fn bench_mux_roundtrip(c: &mut Criterion) {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    const CONNS: usize = 64;
+    let server = Arc::new(Server::start_with_runner(config(2, 1024), instant_runner()));
+    let mux = zenesis_serve::Mux::spawn(
+        Arc::clone(&server),
+        "127.0.0.1:0",
+        zenesis_serve::MuxConfig::default(),
+    )
+    .expect("spawn mux");
+    let addr = mux.local_addr();
+    let mut clients: Vec<(TcpStream, BufReader<TcpStream>)> = (0..CONNS)
+        .map(|_| {
+            let s = TcpStream::connect(addr).expect("connect");
+            s.set_nodelay(true).ok();
+            let r = BufReader::new(s.try_clone().expect("clone"));
+            (s, r)
+        })
+        .collect();
+    let mut turn = 0usize;
+    c.bench_function("serve_mux_roundtrip_64conns", |b| {
+        b.iter(|| {
+            let (w, r) = &mut clients[turn % CONNS];
+            turn += 1;
+            writeln!(w, "{SPEC}").expect("request write");
+            let mut line = String::new();
+            r.read_line(&mut line).expect("response read");
+            assert!(line.contains("\"status\""), "{line}");
+        })
+    });
+    drop(clients);
+    mux.shutdown();
+    // Workers may still be parked in the pool; shut down via the Arc.
+    server.shutdown();
+}
+
+#[cfg(not(unix))]
+fn bench_mux_roundtrip(_c: &mut Criterion) {}
+
 criterion_group!(
     benches,
     bench_dispatch_overhead,
     bench_load_shed,
-    bench_queue_ops
+    bench_queue_ops,
+    bench_mux_roundtrip
 );
 criterion_main!(benches);

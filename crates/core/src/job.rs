@@ -149,6 +149,24 @@ impl InputSpec {
     }
 }
 
+/// True when `message` is a **transient input failure** — a file
+/// open/read error rendered by the loaders above (and the streaming
+/// volume path), which in the paper's web deployment can race with an
+/// in-flight upload or a slow filesystem and deserve a retry.
+/// Everything else a job can report (bad specs, mode mismatches,
+/// panics) is deterministic and must not be retried.
+///
+/// This classifier lives here, beside the `format!` sites that render
+/// these messages (`load_file`, the TIFF volume open path), and is
+/// pinned to them by `transient_input_classifier_matches_loaders`
+/// below plus a cross-crate retry test in `zenesis-serve` — so
+/// rewording an error message cannot silently disable the serving
+/// layer's retry path, the way an ad-hoc substring match in the serve
+/// crate could (and once did, for the flight recorder).
+pub fn message_is_transient_input(message: &str) -> bool {
+    message.starts_with("cannot open ") || message.starts_with("cannot read ")
+}
+
 fn default_side() -> usize {
     128
 }
@@ -703,6 +721,78 @@ mod tests {
             JobResult::Error { message } => assert!(message.contains("cannot read tiff")),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    /// Pins `message_is_transient_input` to the real messages the input
+    /// loaders render: every file open/read failure must classify as
+    /// transient, and deterministic failures (validation, panics) must
+    /// not. Rewording a loader error without updating the classifier
+    /// fails here.
+    #[test]
+    fn transient_input_classifier_matches_loaders() {
+        let run = |input: InputSpec| {
+            let spec = JobSpec::Interactive {
+                input,
+                prompt: "x".into(),
+                config: None,
+            };
+            match run_job(&spec) {
+                JobResult::Error { message } => message,
+                other => panic!("expected error, got {other:?}"),
+            }
+        };
+        for input in [
+            InputSpec::TiffFile {
+                path: "/nonexistent/zenesis-missing.tif".into(),
+            },
+            InputSpec::PgmFile {
+                path: "/nonexistent/zenesis-missing.pgm".into(),
+            },
+            InputSpec::PpmFile {
+                path: "/nonexistent/zenesis-missing.ppm".into(),
+            },
+        ] {
+            let message = run(input);
+            assert!(
+                message_is_transient_input(&message),
+                "loader error must classify transient: {message}"
+            );
+        }
+        // The streaming volume open path renders through the same prefix.
+        let spec = JobSpec::Batch {
+            input: InputSpec::TiffVolumeFile {
+                path: "/nonexistent/zenesis-missing-stack.tif".into(),
+            },
+            prompt: "x".into(),
+            config: None,
+            checkpoint_dir: None,
+            resume: true,
+            masks_out: None,
+        };
+        match run_job(&spec) {
+            JobResult::Error { message } => assert!(
+                message_is_transient_input(&message),
+                "volume open error must classify transient: {message}"
+            ),
+            other => panic!("expected error, got {other:?}"),
+        }
+        // Deterministic failures never classify as transient.
+        let spec = JobSpec::Interactive {
+            input: InputSpec::PhantomSlice {
+                kind: PhantomKind::Amorphous,
+                seed: 1,
+                side: 0,
+            },
+            prompt: "particles".into(),
+            config: None,
+        };
+        match run_job(&spec) {
+            JobResult::Error { message } => {
+                assert!(!message_is_transient_input(&message), "{message}")
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+        assert!(!message_is_transient_input("job panicked: cannot open"));
     }
 
     #[test]

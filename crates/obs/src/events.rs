@@ -65,6 +65,22 @@ pub enum Event {
         /// Queue capacity that was exhausted.
         capacity: usize,
     },
+    /// A served job was refused because its tenant is over its
+    /// outstanding-job quota.
+    TenantRejected {
+        /// Serving-layer job id.
+        id: u64,
+        /// The tenant that was over quota.
+        tenant: String,
+        /// The configured per-tenant outstanding-job limit.
+        limit: usize,
+    },
+    /// A served job was refused because the service is shutting down
+    /// (queue closed, drain in progress).
+    JobClosed {
+        /// Serving-layer job id.
+        id: u64,
+    },
     /// A served job hit its deadline and returned a partial/timeout result.
     JobTimeout {
         /// Serving-layer job id.
@@ -207,6 +223,8 @@ impl Event {
             Event::JobEnd { .. } => "job.end",
             Event::JobQueued { .. } => "job.queued",
             Event::JobRejected { .. } => "job.rejected",
+            Event::TenantRejected { .. } => "tenant.rejected",
+            Event::JobClosed { .. } => "job.closed",
             Event::JobTimeout { .. } => "job.timeout",
             Event::JobPanic { .. } => "job.panic",
             Event::JobRetry { .. } => "job.retry",
@@ -359,6 +377,14 @@ pub fn event_json(rec: &EventRecord) -> Value {
                 "capacity",
                 Value::Number(Number::U(*capacity as u64)),
             );
+        }
+        Event::TenantRejected { id, tenant, limit } => {
+            field(&mut m, "id", Value::Number(Number::U(*id)));
+            field(&mut m, "tenant", Value::String(tenant.clone()));
+            field(&mut m, "limit", Value::Number(Number::U(*limit as u64)));
+        }
+        Event::JobClosed { id } => {
+            field(&mut m, "id", Value::Number(Number::U(*id)));
         }
         Event::JobTimeout { id, dur_ms } => {
             field(&mut m, "id", Value::Number(Number::U(*id)));
@@ -611,6 +637,11 @@ mod tests {
             "job.timeout"
         );
         assert_eq!(
+            Event::TenantRejected { id: 1, tenant: "lab".into(), limit: 4 }.kind(),
+            "tenant.rejected"
+        );
+        assert_eq!(Event::JobClosed { id: 1 }.kind(), "job.closed");
+        assert_eq!(
             Event::JobPanic { id: 1, message: "boom".into() }.kind(),
             "job.panic"
         );
@@ -631,11 +662,13 @@ mod tests {
         emit(Event::JobTimeout { id: 7, dur_ms: 120.5 });
         emit(Event::JobPanic { id: 9, message: "index out of bounds".into() });
         emit(Event::JobRetry { id: 10, attempt: 2, delay_ms: 100 });
+        emit(Event::TenantRejected { id: 11, tenant: "lab-a".into(), limit: 4 });
+        emit(Event::JobClosed { id: 12 });
         let lines: Vec<serde_json::Value> = events_jsonl()
             .lines()
             .map(|l| serde_json::from_str(l).unwrap())
             .collect();
-        assert_eq!(lines.len(), 5);
+        assert_eq!(lines.len(), 7);
         assert_eq!(lines[0]["event"], "job.queued");
         assert_eq!(lines[0]["id"], 7);
         assert_eq!(lines[0]["depth"], 3);
@@ -648,6 +681,11 @@ mod tests {
         assert_eq!(lines[4]["event"], "job.retry");
         assert_eq!(lines[4]["attempt"], 2);
         assert_eq!(lines[4]["delay_ms"], 100);
+        assert_eq!(lines[5]["event"], "tenant.rejected");
+        assert_eq!(lines[5]["tenant"], "lab-a");
+        assert_eq!(lines[5]["limit"], 4);
+        assert_eq!(lines[6]["event"], "job.closed");
+        assert_eq!(lines[6]["id"], 12);
         reset_events();
         crate::set_level(before);
     }

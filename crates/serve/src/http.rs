@@ -76,19 +76,50 @@ fn handle_connection(
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
     let mut reader = BufReader::new(stream.try_clone()?).take(MAX_REQUEST_BYTES as u64);
     let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
+    let mut stream = stream;
+    if reader.read_line(&mut request_line)? == 0 {
+        // Peer connected and closed (or sent nothing): clean close.
+        return Ok(());
+    }
+    if request_line.trim().is_empty() {
+        return respond(
+            &mut stream,
+            "400 Bad Request",
+            "text/plain",
+            "empty request line\n",
+        );
+    }
     // Drain the header block so the peer sees a clean close; contents
-    // are irrelevant to every endpoint we serve.
+    // are irrelevant to every endpoint we serve. A head that ends
+    // without the blank line is malformed, and one that exhausts the
+    // size cap gets the dedicated status — both answer instead of
+    // silently serving a truncated request.
     loop {
         let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
+        if reader.read_line(&mut header)? == 0 {
+            return if reader.limit() == 0 {
+                respond(
+                    &mut stream,
+                    "431 Request Header Fields Too Large",
+                    "text/plain",
+                    "request head exceeds 8192 bytes\n",
+                )
+            } else {
+                respond(
+                    &mut stream,
+                    "400 Bad Request",
+                    "text/plain",
+                    "request head ended without a blank line\n",
+                )
+            };
+        }
+        if header == "\r\n" || header == "\n" {
             break;
         }
     }
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
-    let mut stream = stream;
     if method != "GET" {
         return respond(
             &mut stream,
@@ -141,6 +172,11 @@ fn readiness_failures(server: &Server, probe_dir: Option<&str>) -> Vec<String> {
     if server.workers_alive() == 0 {
         reasons.push("no worker threads alive".to_string());
     }
+    if let Some((open, cap)) = server.mux_connections() {
+        if open >= cap {
+            reasons.push(format!("connection cap saturated ({open}/{cap})"));
+        }
+    }
     if let Some(dir) = probe_dir {
         let probe = std::path::Path::new(dir).join(format!(".readyz-probe-{}", std::process::id()));
         match std::fs::write(&probe, b"probe") {
@@ -188,6 +224,7 @@ mod tests {
             ServeConfig {
                 workers: 1,
                 queue_cap: 2,
+                tenant_cap: 0,
                 default_deadline_ms: None,
                 max_retries: 0,
                 retry_base_ms: 1,
@@ -220,6 +257,74 @@ mod tests {
         let mut text = String::new();
         s.read_to_string(&mut text).unwrap();
         assert!(text.starts_with("HTTP/1.1 405"), "{text}");
+    }
+
+    /// Edge-case requests must get a clean close or a well-formed
+    /// error — never a hang past the IO timeout. Each sub-case times
+    /// itself to catch a regression toward blocking reads.
+    #[test]
+    fn malformed_requests_answer_or_close_cleanly() {
+        let server = idle_server();
+        let addr = start_metrics_http("127.0.0.1:0", Arc::clone(&server), None).unwrap();
+        let deadline = IO_TIMEOUT + Duration::from_secs(3);
+
+        // Bare blank request line: well-formed 400.
+        let started = std::time::Instant::now();
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(deadline)).unwrap();
+        write!(s, "\r\n").unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut text = String::new();
+        s.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+        assert!(text.contains("empty request line"), "{text}");
+        assert!(started.elapsed() < deadline);
+
+        // Connect-and-close (zero bytes): clean close, no response.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(deadline)).unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut text = String::new();
+        s.read_to_string(&mut text).unwrap();
+        assert_eq!(text, "");
+
+        // Head exceeding MAX_REQUEST_BYTES: 431, not an unbounded read.
+        let started = std::time::Instant::now();
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(deadline)).unwrap();
+        write!(s, "GET /healthz HTTP/1.1\r\n").unwrap();
+        let filler = format!("X-Filler: {}\r\n", "y".repeat(1000));
+        for _ in 0..(MAX_REQUEST_BYTES / filler.len() + 2) {
+            if s.write_all(filler.as_bytes()).is_err() {
+                break; // server already answered and closed; fine
+            }
+        }
+        let mut text = String::new();
+        s.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 431"), "{text}");
+        assert!(started.elapsed() < deadline);
+
+        // Header block never terminated by a blank line: 400.
+        let started = std::time::Instant::now();
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(deadline)).unwrap();
+        write!(s, "GET /healthz HTTP/1.1\r\nHost: test\r\n").unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut text = String::new();
+        s.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+        assert!(text.contains("without a blank line"), "{text}");
+        assert!(started.elapsed() < deadline);
+
+        // A stalled peer (partial head, never closes) is cut off by the
+        // read timeout rather than wedging the sidecar: a subsequent
+        // probe still gets through promptly.
+        let mut stalled = TcpStream::connect(addr).unwrap();
+        write!(stalled, "GET /healthz HTTP/1.1\r\nHost: t").unwrap();
+        let (status, body) = get(addr, "/healthz");
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "ok\n");
+        drop(stalled);
     }
 
     #[test]

@@ -5,8 +5,12 @@
 //! crate is its backend serving layer: JSONL requests in, JSONL results
 //! out, with the failure modes a shared service must make explicit —
 //!
-//! * a **bounded queue** that sheds load with typed `busy` responses
-//!   instead of growing without bound ([`queue`]);
+//! * a **bounded two-lane queue** (interactive ahead of batch) that
+//!   sheds load with typed `busy` responses instead of growing without
+//!   bound ([`queue`]);
+//! * **per-tenant admission control** bounding each tenant's
+//!   outstanding work so one aggressive client cannot starve the rest
+//!   ([`admission`]);
 //! * **per-job deadlines** enforced cooperatively through
 //!   [`zenesis_par::CancelToken`], counting queue wait against the
 //!   budget and returning partial progress on expiry;
@@ -23,14 +27,24 @@
 //! last moments of a failing job to disk (see `docs/OBSERVABILITY.md`).
 //!
 //! The `zenesis-serve` binary speaks the protocol over stdin/stdout
-//! (pipe mode) and over TCP (`--tcp ADDR`); see `docs/SERVING.md`.
+//! (pipe mode) and over TCP (`--tcp ADDR`), where a readiness-driven
+//! [`mux`] serves every connection from one reactor thread; see
+//! `docs/SERVING.md`.
 
+pub mod admission;
+#[cfg(unix)]
+pub mod conn;
 pub mod http;
+#[cfg(unix)]
+pub mod mux;
 pub mod proto;
 pub mod queue;
 pub mod server;
 
+pub use admission::Admission;
 pub use http::start_metrics_http;
+#[cfg(unix)]
+pub use mux::{Mux, MuxConfig};
 pub use proto::{parse_request, Request, Response};
-pub use queue::{BoundedQueue, PushError};
-pub use server::{JobRunner, ServeConfig, Server};
+pub use queue::{BoundedQueue, Lane, PushError, QueueDepths};
+pub use server::{JobRunner, ResponseSink, ServeConfig, Server};

@@ -4,16 +4,20 @@
 //! response per line to stdout, drains and exits at EOF.
 //!
 //! ```text
-//! zenesis-serve [--workers N] [--queue-cap N] [--deadline-ms MS]
-//!               [--max-retries N] [--retry-base-ms MS]
-//!               [--tcp ADDR] [--events-out F] [--ledger-out F]
+//! zenesis-serve [--workers N] [--queue-cap N] [--tenant-cap N]
+//!               [--deadline-ms MS] [--max-retries N] [--retry-base-ms MS]
+//!               [--tcp ADDR] [--max-conns N]
+//!               [--events-out F] [--ledger-out F]
 //!               [--label NAME] [--metrics-addr ADDR]
 //!               [--stats-interval SECS] [--flight-dir DIR]
 //!               < jobs.jsonl > results.jsonl
 //! ```
 //!
 //! TCP mode (`--tcp 127.0.0.1:7878`): every connection speaks the same
-//! line protocol; responses go back on the submitting connection.
+//! line protocol; responses go back on the submitting connection,
+//! possibly out of request order (correlate by `id`). All connections
+//! are served by one readiness-driven reactor thread (`zenesis_serve::mux`)
+//! — connection count is bounded by `--max-conns`, not by threads.
 //! Observability sinks are written at exit, exactly like `zenesis-cli`.
 //!
 //! The telemetry plane (`docs/OBSERVABILITY.md`): `--metrics-addr`
@@ -22,7 +26,7 @@
 //! seconds, and `--flight-dir` arms the crash flight recorder. Each of
 //! these implies `ZENESIS_OBS=spans` when the variable is unset.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, Write};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -94,10 +98,12 @@ fn main() {
              flags:\n\
              \x20 --workers N        worker threads (default: cores, capped at 8)\n\
              \x20 --queue-cap N      bounded queue capacity (default 64)\n\
+             \x20 --tenant-cap N     max outstanding jobs per tenant (default 0 = unlimited)\n\
              \x20 --deadline-ms MS   default per-job deadline (default: none)\n\
              \x20 --max-retries N    transient-input retries (default 2)\n\
              \x20 --retry-base-ms MS first backoff, doubles per attempt (default 25)\n\
              \x20 --tcp ADDR         serve a TCP listener instead of stdin/stdout\n\
+             \x20 --max-conns N      TCP connection cap for the mux (default 1024)\n\
              \x20 --events-out F     write the job.* event stream as JSONL at exit\n\
              \x20 --ledger-out F     write a run ledger (latencies + counters) at exit\n\
              \x20 --label NAME       ledger label (default \"serve\")\n\
@@ -139,6 +145,9 @@ fn main() {
     if let Some(n) = parse_num("--queue-cap", take_flag_value(&mut args, "--queue-cap")) {
         config.queue_cap = n;
     }
+    if let Some(n) = parse_num("--tenant-cap", take_flag_value(&mut args, "--tenant-cap")) {
+        config.tenant_cap = n;
+    }
     config.default_deadline_ms =
         parse_num("--deadline-ms", take_flag_value(&mut args, "--deadline-ms"));
     if let Some(n) = parse_num("--max-retries", take_flag_value(&mut args, "--max-retries")) {
@@ -152,6 +161,7 @@ fn main() {
     }
     config.flight_dir = flight_dir;
     let tcp = take_flag_value(&mut args, "--tcp");
+    let max_conns: Option<usize> = parse_num("--max-conns", take_flag_value(&mut args, "--max-conns"));
     if let Some(stray) = args.first() {
         eprintln!("unknown argument {stray:?} (see --help)");
         std::process::exit(2);
@@ -172,7 +182,7 @@ fn main() {
         start_stats_reporter(Arc::clone(&server), secs.max(1));
     }
     match tcp {
-        Some(addr) => serve_tcp(server, &addr),
+        Some(addr) => serve_tcp(server, &addr, max_conns),
         None => serve_pipe(&server),
     }
     sinks.write();
@@ -240,64 +250,32 @@ fn serve_pipe(server: &Server) {
     let _ = writer.join();
 }
 
-/// TCP mode: one protocol session per connection, all feeding the same
-/// shared worker pool and bounded queue.
-fn serve_tcp(server: Arc<Server>, addr: &str) {
-    let listener = match std::net::TcpListener::bind(addr) {
-        Ok(l) => l,
+/// TCP mode: every connection is served by the readiness-driven mux —
+/// one reactor thread multiplexing all sockets into the shared worker
+/// pool and bounded queue (see `zenesis_serve::mux`).
+#[cfg(unix)]
+fn serve_tcp(server: Arc<Server>, addr: &str, max_conns: Option<usize>) {
+    let mut mux_config = zenesis_serve::MuxConfig::default();
+    if let Some(n) = max_conns {
+        mux_config.max_conns = n.max(1);
+    }
+    let mux = match zenesis_serve::Mux::spawn(server, addr, mux_config.clone()) {
+        Ok(m) => m,
         Err(e) => {
             eprintln!("cannot bind {addr}: {e}");
             std::process::exit(1);
         }
     };
-    eprintln!("zenesis-serve listening on {addr}");
-    let mut sessions = Vec::new();
-    for conn in listener.incoming() {
-        let stream = match conn {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("accept error: {e}");
-                continue;
-            }
-        };
-        let server = Arc::clone(&server);
-        sessions.push(std::thread::spawn(move || {
-            let peer = stream
-                .peer_addr()
-                .map(|a| a.to_string())
-                .unwrap_or_else(|_| "?".into());
-            let (tx, rx) = crossbeam::channel::unbounded::<zenesis_serve::Response>();
-            let mut write_half = match stream.try_clone() {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("[{peer}] cannot clone stream: {e}");
-                    return;
-                }
-            };
-            let writer = std::thread::spawn(move || {
-                while let Ok(resp) = rx.recv() {
-                    if writeln!(write_half, "{}", resp.to_json_line()).is_err() {
-                        break; // peer went away; drain remaining replies
-                    }
-                }
-            });
-            let mut line_no = 0u64;
-            for line in BufReader::new(stream).lines() {
-                let line = match line {
-                    Ok(l) => l,
-                    Err(_) => break,
-                };
-                if line.trim().is_empty() {
-                    continue;
-                }
-                line_no += 1;
-                server.submit_line(&line, line_no, &tx);
-            }
-            drop(tx);
-            let _ = writer.join();
-        }));
-    }
-    for s in sessions {
-        let _ = s.join();
-    }
+    eprintln!(
+        "zenesis-serve listening on {} (mux, max {} connections)",
+        mux.local_addr(),
+        mux_config.max_conns
+    );
+    mux.join();
+}
+
+#[cfg(not(unix))]
+fn serve_tcp(_server: Arc<Server>, _addr: &str, _max_conns: Option<usize>) {
+    eprintln!("--tcp requires a unix platform (the mux uses poll(2)); use pipe mode");
+    std::process::exit(2);
 }

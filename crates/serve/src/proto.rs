@@ -27,6 +27,14 @@
 //! produces — across queue wait, worker threads, and the parallel
 //! runtime — carries the same id (see `docs/OBSERVABILITY.md`).
 //!
+//! Two more optional envelope fields drive admission (see
+//! `docs/SERVING.md`): `"tenant"` names the submitting tenant for
+//! per-tenant quotas (absent = exempt), and `"lane"` picks the priority
+//! lane (`"interactive"` | `"batch"`; absent or unrecognized = derived
+//! from the spec's mode — interactive specs ride the interactive lane,
+//! batch/evaluate specs the batch lane). Like `trace_id`, a malformed
+//! `lane` degrades to the default rather than rejecting the job.
+//!
 //! Every response is one compact JSON object:
 //!
 //! ```json
@@ -44,6 +52,8 @@ use serde_json::{Map, Number, Value};
 use zenesis_core::job::{JobResult, JobSpec};
 use zenesis_obs::TraceId;
 
+use crate::queue::Lane;
+
 /// A parsed request line.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -54,8 +64,25 @@ pub struct Request {
     /// Trace context supplied by the caller (`"trace_id"` hex field in
     /// the envelope); `None` means the server mints one at admission.
     pub trace: Option<TraceId>,
+    /// Tenant name for per-tenant admission quotas; `None` is exempt.
+    pub tenant: Option<String>,
+    /// Explicit priority-lane override; `None` derives the lane from
+    /// the spec's mode.
+    pub lane: Option<Lane>,
     /// The job to run.
     pub spec: JobSpec,
+}
+
+impl Request {
+    /// The lane this request rides: the explicit envelope override, or
+    /// the spec-derived default (interactive specs on the interactive
+    /// lane, everything else on batch).
+    pub fn effective_lane(&self) -> Lane {
+        self.lane.unwrap_or(match self.spec {
+            JobSpec::Interactive { .. } => Lane::Interactive,
+            JobSpec::Batch { .. } | JobSpec::Evaluate { .. } => Lane::Batch,
+        })
+    }
 }
 
 /// Parse one request line. `fallback_id` (the server's line counter) is
@@ -72,6 +99,15 @@ pub fn parse_request(line: &str, fallback_id: u64) -> Result<Request, String> {
             .get("trace_id")
             .and_then(|x| x.as_str())
             .and_then(TraceId::from_hex);
+        let tenant = v
+            .get("tenant")
+            .and_then(|x| x.as_str())
+            .filter(|t| !t.is_empty())
+            .map(str::to_string);
+        let lane = v
+            .get("lane")
+            .and_then(|x| x.as_str())
+            .and_then(Lane::from_name);
         let spec_value = v.get("spec").expect("envelope has spec");
         let spec: JobSpec = serde_json::from_value(spec_value)
             .map_err(|e| format!("invalid job spec: {e}"))?;
@@ -79,6 +115,8 @@ pub fn parse_request(line: &str, fallback_id: u64) -> Result<Request, String> {
             id,
             deadline_ms,
             trace,
+            tenant,
+            lane,
             spec,
         })
     } else {
@@ -88,6 +126,8 @@ pub fn parse_request(line: &str, fallback_id: u64) -> Result<Request, String> {
             id: fallback_id,
             deadline_ms: None,
             trace: None,
+            tenant: None,
+            lane: None,
             spec,
         })
     }
@@ -179,6 +219,47 @@ mod tests {
             let req = parse_request(&line, 0).unwrap();
             assert_eq!(req.trace, None, "trace_id {bad} should be ignored");
         }
+    }
+
+    #[test]
+    fn envelope_tenant_and_lane_parse_and_degrade() {
+        let line = format!(
+            r#"{{"id": 2, "tenant": "lab-7", "lane": "batch", "spec": {BARE}}}"#
+        );
+        let req = parse_request(&line, 0).unwrap();
+        assert_eq!(req.tenant.as_deref(), Some("lab-7"));
+        assert_eq!(req.lane, Some(Lane::Batch));
+        assert_eq!(req.effective_lane(), Lane::Batch, "override wins");
+
+        // Absent fields: no tenant, spec-derived lane (interactive spec).
+        let req = parse_request(BARE, 0).unwrap();
+        assert_eq!(req.tenant, None);
+        assert_eq!(req.lane, None);
+        assert_eq!(req.effective_lane(), Lane::Interactive);
+
+        // Unknown lane strings and empty tenants degrade, never reject.
+        let line = format!(r#"{{"id": 2, "tenant": "", "lane": "bulk", "spec": {BARE}}}"#);
+        let req = parse_request(&line, 0).unwrap();
+        assert_eq!(req.tenant, None, "empty tenant treated as absent");
+        assert_eq!(req.lane, None, "unknown lane degrades to default");
+        assert_eq!(req.effective_lane(), Lane::Interactive);
+    }
+
+    #[test]
+    fn batch_and_evaluate_specs_default_to_the_batch_lane() {
+        let batch = r#"{"mode": "batch",
+            "input": {"source": "phantom_volume", "kind": "amorphous", "seed": 3, "depth": 4},
+            "prompt": "bright particles"}"#;
+        assert_eq!(
+            parse_request(batch, 0).unwrap().effective_lane(),
+            Lane::Batch
+        );
+        // An explicit interactive lane promotes a batch spec.
+        let line = format!(r#"{{"lane": "interactive", "spec": {batch}}}"#);
+        assert_eq!(
+            parse_request(&line, 0).unwrap().effective_lane(),
+            Lane::Interactive
+        );
     }
 
     #[test]

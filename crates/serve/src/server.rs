@@ -6,6 +6,15 @@
 //! * **Load shed** — a full queue turns the submission into an immediate
 //!   `busy` response ([`JobResult::Busy`]); the job never occupies memory
 //!   or a worker. `job.rejected` is emitted and `serve.job.busy` counted.
+//! * **Tenant quota** — a tenant with too many outstanding jobs is
+//!   refused the same way (`busy` on the wire, its own message and
+//!   `serve.tenant.busy` counter) before touching the queue
+//!   ([`crate::admission`]).
+//! * **Shutdown refusal** — submissions during a graceful drain get a
+//!   `busy` response whose message says the service is shutting down
+//!   (`serve.job.closed` counter): unlike a full queue, resubmitting to
+//!   *this* instance is futile, and clients balancing across replicas
+//!   should pick another one.
 //! * **Deadline** — each job runs under a [`CancelToken`] whose deadline
 //!   starts at *submission*. The pipeline polls the token at per-slice /
 //!   per-sample checkpoints, so an expired job returns a `timeout` result
@@ -13,29 +22,45 @@
 //! * **Panic isolation** — the runner is wrapped in `catch_unwind`; a
 //!   panicking job becomes a structured `error` response (`job.panic`
 //!   event, `serve.job.panic` counter) and the worker keeps serving.
-//! * **Retry** — results classified as transient input failures (file
-//!   open/read errors, which race with uploads in the paper's web
-//!   deployment) are retried with exponential backoff
-//!   (`retry_base_ms << attempt`), never past the deadline and at most
-//!   `max_retries` times.
+//! * **Retry** — results classified as transient input failures (via
+//!   [`zenesis_core::job::message_is_transient_input`], the classifier
+//!   that lives beside the error construction site) are retried with
+//!   exponential backoff, capped at [`MAX_RETRY_BACKOFF_MS`], never past
+//!   the deadline and at most `max_retries` times.
 //! * **Graceful shutdown** — [`Server::shutdown`] closes the queue:
 //!   accepted jobs still run to completion and get responses; only new
 //!   submissions are refused.
+//!
+//! Queue-depth gauges (`serve.queue_depth`, `serve.lane.*.depth`) are
+//! set exclusively from the depths returned by queue push/pop
+//! transitions — never from a separate racy `len()` read.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::Sender;
 use parking_lot::Mutex;
-use zenesis_core::job::{run_job_with_cancel, JobResult, JobSpec};
+use zenesis_core::job::{message_is_transient_input, run_job_with_cancel, JobResult, JobSpec};
 use zenesis_obs::events::{self, Event};
 use zenesis_obs::TraceId;
 use zenesis_par::CancelToken;
 
+use crate::admission::Admission;
 use crate::proto::{parse_request, Response};
-use crate::queue::{BoundedQueue, PushError};
+use crate::queue::{BoundedQueue, Lane, PushError, QueueDepths};
+
+/// Largest exponent applied to `retry_base_ms`; caps the shift so a
+/// large `--max-retries` cannot overflow the `u64` backoff arithmetic
+/// (shift ≥ 64 panics in debug builds and wraps in release).
+const MAX_BACKOFF_EXP: u32 = 16;
+
+/// Hard ceiling on one retry backoff sleep. Beyond ~10 s the input is
+/// not "racing with an upload" anymore and the deadline budget is
+/// better spent failing fast.
+pub const MAX_RETRY_BACKOFF_MS: u64 = 10_000;
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -44,12 +69,16 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Bounded queue capacity; submissions beyond it are shed as `busy`.
     pub queue_cap: usize,
+    /// Max outstanding (queued + running) jobs per tenant; 0 disables
+    /// per-tenant quotas. Requests without a `tenant` field are exempt.
+    pub tenant_cap: usize,
     /// Deadline applied to jobs whose envelope sets none (`None` =
     /// unlimited).
     pub default_deadline_ms: Option<u64>,
     /// Maximum retries for transient input failures.
     pub max_retries: u32,
-    /// First retry backoff; doubles per attempt.
+    /// First retry backoff; doubles per attempt up to
+    /// [`MAX_RETRY_BACKOFF_MS`].
     pub retry_base_ms: u64,
     /// Directory for crash flight recordings. `Some` arms the in-memory
     /// flight ring ([`zenesis_obs::flight`]) and dumps it as
@@ -65,6 +94,7 @@ impl Default for ServeConfig {
                 .map(|n| n.get().min(8))
                 .unwrap_or(2),
             queue_cap: 64,
+            tenant_cap: 0,
             default_deadline_ms: None,
             max_retries: 2,
             retry_base_ms: 25,
@@ -78,19 +108,59 @@ impl Default for ServeConfig {
 /// transiently to exercise the isolation and retry paths.
 pub type JobRunner = Arc<dyn Fn(&JobSpec, &CancelToken) -> JobResult + Send + Sync>;
 
+/// Where a job's response goes: the pipe writer, a test channel, or the
+/// mux's per-connection write path. Cheap to clone; each admitted
+/// submission calls it exactly once.
+#[derive(Clone)]
+pub struct ResponseSink(Arc<dyn Fn(Response) + Send + Sync>);
+
+impl ResponseSink {
+    /// Wrap an arbitrary delivery function.
+    pub fn new(deliver: impl Fn(Response) + Send + Sync + 'static) -> ResponseSink {
+        ResponseSink(Arc::new(deliver))
+    }
+
+    /// Deliver into a crossbeam channel (pipe mode, tests, benches).
+    /// A hung-up receiver drops the response silently — the submitter
+    /// went away and there is nobody left to tell.
+    pub fn from_channel(tx: &Sender<Response>) -> ResponseSink {
+        let tx = tx.clone();
+        ResponseSink::new(move |resp| {
+            let _ = tx.send(resp);
+        })
+    }
+
+    /// Deliver one response.
+    pub fn send(&self, resp: Response) {
+        (self.0)(resp)
+    }
+}
+
 struct QueuedJob {
     id: u64,
     trace: TraceId,
+    tenant: Option<String>,
     spec: JobSpec,
     deadline: Option<Instant>,
     submitted: Instant,
-    reply: Sender<Response>,
+    reply: ResponseSink,
+}
+
+/// Connection stats a mux front end registers so `/readyz` can report
+/// connection-cap saturation (see [`crate::mux`]).
+pub struct MuxStats {
+    /// Open multiplexed connections.
+    pub connections: AtomicUsize,
+    /// Accept cap; further connections are refused at accept time.
+    pub max_connections: usize,
 }
 
 /// The running service.
 pub struct Server {
     queue: BoundedQueue<QueuedJob>,
+    admission: Arc<Admission>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    mux_stats: Mutex<Option<Arc<MuxStats>>>,
     config: ServeConfig,
 }
 
@@ -107,20 +177,24 @@ impl Server {
             zenesis_obs::flight::arm(zenesis_obs::flight::DEFAULT_CAPACITY);
         }
         let queue = BoundedQueue::new(config.queue_cap);
+        let admission = Arc::new(Admission::new(config.tenant_cap));
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let queue = queue.clone();
                 let runner = Arc::clone(&runner);
                 let cfg = config.clone();
+                let admission = Arc::clone(&admission);
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, &runner, &cfg))
+                    .spawn(move || worker_loop(&queue, &runner, &cfg, &admission))
                     .expect("spawn serve worker")
             })
             .collect();
         Server {
             queue,
+            admission,
             workers: Mutex::new(workers),
+            mux_stats: Mutex::new(None),
             config,
         }
     }
@@ -140,6 +214,25 @@ impl Server {
         self.queue.capacity()
     }
 
+    /// The per-tenant admission controller.
+    pub fn admission(&self) -> &Admission {
+        &self.admission
+    }
+
+    /// Register the mux front end's connection stats so readiness
+    /// probes can report accept-cap saturation.
+    pub fn attach_mux_stats(&self, stats: Arc<MuxStats>) {
+        *self.mux_stats.lock() = Some(stats);
+    }
+
+    /// `(open, cap)` of the attached mux front end, if one is running.
+    pub fn mux_connections(&self) -> Option<(usize, usize)> {
+        self.mux_stats
+            .lock()
+            .as_ref()
+            .map(|s| (s.connections.load(Ordering::Relaxed), s.max_connections))
+    }
+
     /// Worker threads still running. Anything below the configured
     /// count means a worker died outside the panic isolation (a bug);
     /// the `/readyz` endpoint reports not-ready at zero.
@@ -151,15 +244,21 @@ impl Server {
             .count()
     }
 
-    /// Submit one raw request line. Exactly one [`Response`] will be
-    /// sent on `reply` for it — immediately for parse errors and load
-    /// sheds, from a worker otherwise. Blank lines are the caller's to
-    /// skip.
+    /// Submit one raw request line, replying into a channel. Equivalent
+    /// to [`Server::submit`] with [`ResponseSink::from_channel`].
     pub fn submit_line(&self, line: &str, fallback_id: u64, reply: &Sender<Response>) {
+        self.submit(line, fallback_id, &ResponseSink::from_channel(reply));
+    }
+
+    /// Submit one raw request line. Exactly one [`Response`] will be
+    /// delivered through `reply` for it — immediately for parse errors,
+    /// quota refusals, and load sheds; from a worker otherwise. Blank
+    /// lines are the caller's to skip.
+    pub fn submit(&self, line: &str, fallback_id: u64, reply: &ResponseSink) {
         let req = match parse_request(line, fallback_id) {
             Ok(req) => req,
             Err(message) => {
-                let _ = reply.send(Response {
+                reply.send(Response {
                     id: fallback_id,
                     trace: TraceId::mint(),
                     attempts: 0,
@@ -175,6 +274,34 @@ impl Server {
         // the admission-path events with it.
         let trace = req.trace.unwrap_or_else(TraceId::mint);
         let _trace_scope = zenesis_obs::trace_guard(Some(trace));
+        let lane = req.effective_lane();
+        // Tenant quota check precedes the queue: a hog's requests are
+        // refused before they can occupy shared queue slots.
+        if let Err(quota) = self.admission.admit(req.tenant.as_deref()) {
+            if zenesis_obs::enabled() {
+                events::emit(Event::TenantRejected {
+                    id: req.id,
+                    tenant: quota.tenant.clone(),
+                    limit: quota.limit,
+                });
+                zenesis_obs::counter("serve.tenant.busy").inc();
+            }
+            reply.send(Response {
+                id: req.id,
+                trace,
+                attempts: 0,
+                queue_ms: 0.0,
+                run_ms: 0.0,
+                result: JobResult::Busy {
+                    message: format!(
+                        "tenant {:?} quota exceeded ({} outstanding jobs); resubmit later",
+                        quota.tenant, quota.limit
+                    ),
+                    capacity: quota.limit,
+                },
+            });
+            return;
+        }
         let now = Instant::now();
         let deadline = req
             .deadline_ms
@@ -183,22 +310,29 @@ impl Server {
         let job = QueuedJob {
             id: req.id,
             trace,
+            tenant: req.tenant,
             spec: req.spec,
             deadline,
             submitted: now,
             reply: reply.clone(),
         };
-        match self.queue.try_push(job) {
-            Ok(depth) => {
+        match self.queue.try_push(job, lane) {
+            Ok(depths) => {
                 if zenesis_obs::enabled() {
                     events::emit(Event::JobQueued {
                         id: req.id,
-                        depth,
+                        depth: depths.total(),
                     });
-                    zenesis_obs::gauge("serve.queue_depth").set(depth as i64);
+                    zenesis_obs::counter(match lane {
+                        Lane::Interactive => "serve.lane.interactive.queued",
+                        Lane::Batch => "serve.lane.batch.queued",
+                    })
+                    .inc();
+                    set_depth_gauges(depths);
                 }
             }
-            Err(PushError::Full(job) | PushError::Closed(job)) => {
+            Err(PushError::Full(job)) => {
+                self.admission.release(job.tenant.as_deref());
                 let capacity = self.queue.capacity();
                 if zenesis_obs::enabled() {
                     events::emit(Event::JobRejected {
@@ -207,7 +341,7 @@ impl Server {
                     });
                     zenesis_obs::counter("serve.job.busy").inc();
                 }
-                let _ = job.reply.send(Response {
+                job.reply.send(Response {
                     id: job.id,
                     trace,
                     attempts: 0,
@@ -215,6 +349,28 @@ impl Server {
                     run_ms: 0.0,
                     result: JobResult::Busy {
                         message: format!("queue full ({capacity} jobs); resubmit later"),
+                        capacity,
+                    },
+                });
+            }
+            Err(PushError::Closed(job)) => {
+                // A shutdown refusal keeps `status: "busy"` on the wire
+                // for compatibility, but says so: resubmitting to this
+                // instance is futile — it is draining, not overloaded.
+                self.admission.release(job.tenant.as_deref());
+                let capacity = self.queue.capacity();
+                if zenesis_obs::enabled() {
+                    events::emit(Event::JobClosed { id: job.id });
+                    zenesis_obs::counter("serve.job.closed").inc();
+                }
+                job.reply.send(Response {
+                    id: job.id,
+                    trace,
+                    attempts: 0,
+                    queue_ms: 0.0,
+                    run_ms: 0.0,
+                    result: JobResult::Busy {
+                        message: "service shutting down; submit to another instance".to_string(),
                         capacity,
                     },
                 });
@@ -239,6 +395,13 @@ impl Drop for Server {
     }
 }
 
+/// Publish queue-depth gauges from one push/pop transition's depths.
+fn set_depth_gauges(depths: QueueDepths) {
+    zenesis_obs::gauge("serve.queue_depth").set(depths.total() as i64);
+    zenesis_obs::gauge("serve.lane.interactive.depth").set(depths.interactive as i64);
+    zenesis_obs::gauge("serve.lane.batch.depth").set(depths.batch as i64);
+}
+
 /// Stringify a panic payload the way `std` does for uncaught panics.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -250,19 +413,35 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Transient-input classification: file open/read failures may race
-/// with an upload or a slow filesystem and deserve a retry; everything
-/// else (bad specs, mode mismatches) is deterministic and must not be.
+/// Transient-input classification, delegated to the structured
+/// classifier in `zenesis-core` (kept beside the error construction
+/// sites and pinned there by tests, so a rewording cannot silently
+/// disable retries).
 fn is_transient(result: &JobResult) -> bool {
     matches!(
         result,
-        JobResult::Error { message }
-            if message.contains("cannot open") || message.contains("cannot read")
+        JobResult::Error { message } if message_is_transient_input(message)
     )
 }
 
-fn worker_loop(queue: &BoundedQueue<QueuedJob>, runner: &JobRunner, cfg: &ServeConfig) {
-    while let Some(job) = queue.pop() {
+/// Backoff before retry `attempts` (1-based): `base << (attempts-1)`,
+/// with the exponent capped at [`MAX_BACKOFF_EXP`] and the result
+/// clamped to [`MAX_RETRY_BACKOFF_MS`] — immune to shift overflow for
+/// any `--max-retries`.
+fn retry_backoff_ms(base_ms: u64, attempts: u32) -> u64 {
+    let exp = attempts.saturating_sub(1).min(MAX_BACKOFF_EXP);
+    base_ms
+        .saturating_mul(1u64 << exp)
+        .min(MAX_RETRY_BACKOFF_MS)
+}
+
+fn worker_loop(
+    queue: &BoundedQueue<QueuedJob>,
+    runner: &JobRunner,
+    cfg: &ServeConfig,
+    admission: &Admission,
+) {
+    while let Some((job, depths)) = queue.pop() {
         // Re-install the job's trace on this worker thread: every span
         // and event below (including the retry/panic bookkeeping here)
         // carries the id minted or adopted at ingress. The token carries
@@ -271,7 +450,8 @@ fn worker_loop(queue: &BoundedQueue<QueuedJob>, runner: &JobRunner, cfg: &ServeC
         let _trace_scope = zenesis_obs::trace_guard(Some(job.trace));
         let obs = zenesis_obs::enabled();
         if obs {
-            zenesis_obs::gauge("serve.queue_depth").set(queue.len() as i64);
+            // The depths returned by this pop — not a racy re-read.
+            set_depth_gauges(depths);
         }
         let queue_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
         if obs {
@@ -314,7 +494,7 @@ fn worker_loop(queue: &BoundedQueue<QueuedJob>, runner: &JobRunner, cfg: &ServeC
                         && is_transient(&result)
                         && !cancel.is_cancelled()
                     {
-                        let delay_ms = cfg.retry_base_ms << (attempts - 1);
+                        let delay_ms = retry_backoff_ms(cfg.retry_base_ms, attempts);
                         if obs {
                             events::emit(Event::JobRetry {
                                 id: job.id,
@@ -377,7 +557,11 @@ fn worker_loop(queue: &BoundedQueue<QueuedJob>, runner: &JobRunner, cfg: &ServeC
                 dump_flight(dir, reason, job.trace);
             }
         }
-        let _ = job.reply.send(Response {
+        // The tenant's slot is held until its response is on the way:
+        // outstanding = queued + running, so a tenant cannot use a slow
+        // job to overlap more work than its quota.
+        admission.release(job.tenant.as_deref());
+        job.reply.send(Response {
             id: job.id,
             trace: job.trace,
             attempts,
@@ -408,5 +592,30 @@ fn dump_flight(dir: &str, reason: &str, trace: TraceId) {
             eprintln!("flight recording written to {}", path.display());
         }
         Err(e) => eprintln!("failed to write flight recording {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression for the shift-overflow bug: `base << (attempts-1)`
+    /// panicked in debug builds (wrapped in release) once attempts
+    /// exceeded 64. The capped form is monotone up to the clamp and
+    /// never overflows for any attempt count.
+    #[test]
+    fn retry_backoff_caps_exponent_and_clamps_delay() {
+        assert_eq!(retry_backoff_ms(25, 1), 25);
+        assert_eq!(retry_backoff_ms(25, 2), 50);
+        assert_eq!(retry_backoff_ms(25, 3), 100);
+        // Clamped at the ceiling long before the exponent cap.
+        assert_eq!(retry_backoff_ms(25, 10), MAX_RETRY_BACKOFF_MS);
+        // Attempt counts that used to shift ≥ 64 are fine now.
+        for attempts in [64, 65, 100, u32::MAX] {
+            assert_eq!(retry_backoff_ms(25, attempts), MAX_RETRY_BACKOFF_MS);
+            assert_eq!(retry_backoff_ms(0, attempts), 0);
+        }
+        // A huge base saturates instead of wrapping.
+        assert_eq!(retry_backoff_ms(u64::MAX, 33), MAX_RETRY_BACKOFF_MS);
     }
 }

@@ -54,6 +54,7 @@ fn config(workers: usize, queue_cap: usize) -> ServeConfig {
     ServeConfig {
         workers,
         queue_cap,
+        tenant_cap: 0,
         default_deadline_ms: None,
         max_retries: 2,
         retry_base_ms: 1,
@@ -292,6 +293,206 @@ fn parse_errors_answer_without_touching_the_queue() {
     assert_eq!(resp.attempts, 0);
     assert_eq!(server.queue_depth(), 0);
     server.shutdown();
+}
+
+#[test]
+fn closed_queue_refuses_with_shutting_down_message() {
+    let runner: JobRunner = Arc::new(|_spec, _cancel| ok_result());
+    let server = Server::start_with_runner(config(1, 4), runner);
+    server.shutdown();
+    // After shutdown the queue is closed: the wire status stays `busy`
+    // (old clients keep working) but the message says the instance is
+    // draining — resubmitting here is futile, unlike a full queue.
+    let (tx, rx) = unbounded::<Response>();
+    server.submit_line(&spec_line("late"), 42, &tx);
+    let resp = recv_within(&rx, Duration::from_secs(5));
+    assert_eq!(resp.id, 42);
+    assert_eq!(resp.status(), "busy");
+    assert_eq!(resp.attempts, 0);
+    match &resp.result {
+        JobResult::Busy { message, .. } => {
+            assert!(message.contains("shutting down"), "{message}");
+            assert!(!message.contains("queue full"), "{message}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn tenant_quota_refuses_the_hog_and_admits_the_rest() {
+    let gate = Arc::new(AtomicBool::new(false));
+    let started = Arc::new(AtomicU32::new(0));
+    let runner: JobRunner = {
+        let gate = Arc::clone(&gate);
+        let started = Arc::clone(&started);
+        Arc::new(move |_spec, _cancel| {
+            started.fetch_add(1, Ordering::SeqCst);
+            while !gate.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            ok_result()
+        })
+    };
+    let mut cfg = config(1, 8);
+    cfg.tenant_cap = 1;
+    let server = Server::start_with_runner(cfg, runner);
+    let (tx, rx) = unbounded::<Response>();
+    let enveloped = |id: u64, tenant: &str| {
+        format!(
+            r#"{{"id": {id}, "tenant": "{tenant}", "spec": {}}}"#,
+            spec_line("quota")
+        )
+    };
+    // lab-a's first job occupies the worker (still counted as
+    // outstanding)…
+    server.submit_line(&enveloped(1, "lab-a"), 1, &tx);
+    let t0 = Instant::now();
+    while started.load(Ordering::SeqCst) == 0 {
+        assert!(t0.elapsed() < Duration::from_secs(10), "worker never started");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // …so its second is refused over quota, while another tenant and an
+    // untenanted client are admitted into the plentiful queue.
+    server.submit_line(&enveloped(2, "lab-a"), 2, &tx);
+    server.submit_line(&enveloped(3, "lab-b"), 3, &tx);
+    server.submit_line(&spec_line("anon"), 4, &tx);
+    let refused = recv_within(&rx, Duration::from_secs(5));
+    assert_eq!(refused.id, 2);
+    assert_eq!(refused.status(), "busy");
+    match &refused.result {
+        JobResult::Busy { message, .. } => {
+            assert!(message.contains("tenant"), "{message}");
+            assert!(message.contains("lab-a"), "{message}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(server.admission().outstanding("lab-a"), 1);
+    assert_eq!(server.admission().outstanding("lab-b"), 1);
+    gate.store(true, Ordering::SeqCst);
+    server.shutdown();
+    let mut ok_ids: Vec<u64> = (0..3)
+        .map(|_| {
+            let r = rx.recv().expect("admitted jobs answer");
+            assert_eq!(r.status(), "ok");
+            r.id
+        })
+        .collect();
+    ok_ids.sort_unstable();
+    assert_eq!(ok_ids, vec![1, 3, 4]);
+    // Every admitted job released its slot on completion.
+    assert_eq!(server.admission().active_tenants(), 0);
+}
+
+#[test]
+fn interactive_lane_overtakes_queued_batch_jobs() {
+    let gate = Arc::new(AtomicBool::new(false));
+    let started = Arc::new(AtomicU32::new(0));
+    let runner: JobRunner = {
+        let gate = Arc::clone(&gate);
+        let started = Arc::clone(&started);
+        Arc::new(move |_spec, _cancel| {
+            if started.fetch_add(1, Ordering::SeqCst) == 0 {
+                while !gate.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            ok_result()
+        })
+    };
+    let server = Server::start_with_runner(config(1, 8), runner);
+    let (tx, rx) = unbounded::<Response>();
+    let lane_line = |id: u64, lane: &str| {
+        format!(
+            r#"{{"id": {id}, "lane": "{lane}", "spec": {}}}"#,
+            spec_line("lanes")
+        )
+    };
+    // A blocker pins the single worker while the queue builds up…
+    server.submit_line(&lane_line(1, "batch"), 1, &tx);
+    let t0 = Instant::now();
+    while started.load(Ordering::SeqCst) == 0 {
+        assert!(t0.elapsed() < Duration::from_secs(10), "worker never started");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // …two batch jobs queue first, then an interactive one.
+    server.submit_line(&lane_line(2, "batch"), 2, &tx);
+    server.submit_line(&lane_line(3, "batch"), 3, &tx);
+    server.submit_line(&lane_line(4, "interactive"), 4, &tx);
+    gate.store(true, Ordering::SeqCst);
+    server.shutdown();
+    let order: Vec<u64> = (0..4)
+        .map(|_| {
+            let r = rx.recv().expect("every job answers");
+            assert_eq!(r.status(), "ok");
+            r.id
+        })
+        .collect();
+    // The interactive job (submitted last) runs right after the
+    // blocker, ahead of both earlier batch jobs.
+    assert_eq!(order, vec![1, 4, 2, 3]);
+}
+
+#[test]
+fn real_pipeline_messages_drive_retry_via_core_classifier() {
+    // Cross-crate pin: no injected message strings — the real pipeline
+    // renders its own "cannot open …" error for a missing file, and the
+    // serving layer must recognize it through the classifier exported
+    // by zenesis-core. A rewording in core that bypassed the classifier
+    // (or a classifier drift) breaks this test.
+    let mut cfg = config(1, 4);
+    cfg.max_retries = 2;
+    cfg.retry_base_ms = 0;
+    let server = Server::start(cfg);
+    let (tx, rx) = unbounded::<Response>();
+    let line = r#"{"mode": "interactive",
+        "input": {"source": "tiff_file", "path": "/nonexistent/zenesis-retry-pin.tif"},
+        "prompt": "particles"}"#
+        .replace('\n', " ");
+    server.submit_line(&line, 1, &tx);
+    let resp = recv_within(&rx, Duration::from_secs(30));
+    server.shutdown();
+    assert_eq!(resp.status(), "error");
+    assert_eq!(
+        resp.attempts, 3,
+        "a missing input file is transient: retried to the limit"
+    );
+    match &resp.result {
+        JobResult::Error { message } => {
+            assert!(
+                zenesis_core::job::message_is_transient_input(message),
+                "{message}"
+            );
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn huge_retry_counts_do_not_overflow_backoff() {
+    // Regression: backoff was `retry_base_ms << (attempts - 1)`, which
+    // panics in debug builds once attempts exceeds 64. With 80 retries
+    // and a zero base the old code overflowed; the capped form finishes.
+    let calls = Arc::new(AtomicU32::new(0));
+    let runner: JobRunner = {
+        let calls = Arc::clone(&calls);
+        Arc::new(move |_spec, _cancel| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            JobResult::Error {
+                message: "cannot open \"/gone.tif\": still uploading".into(),
+            }
+        })
+    };
+    let mut cfg = config(1, 4);
+    cfg.max_retries = 80;
+    cfg.retry_base_ms = 0; // zero backoff keeps the test instant
+    let server = Server::start_with_runner(cfg, runner);
+    let (tx, rx) = unbounded::<Response>();
+    server.submit_line(&spec_line("hammered"), 1, &tx);
+    let resp = recv_within(&rx, Duration::from_secs(30));
+    server.shutdown();
+    assert_eq!(resp.status(), "error");
+    assert_eq!(resp.attempts, 81, "initial attempt plus 80 retries");
+    assert_eq!(calls.load(Ordering::SeqCst), 81);
 }
 
 #[test]

@@ -64,6 +64,7 @@ fn config(workers: usize, queue_cap: usize, flight_dir: Option<String>) -> Serve
     ServeConfig {
         workers,
         queue_cap,
+        tenant_cap: 0,
         default_deadline_ms: None,
         max_retries: 0,
         retry_base_ms: 1,
