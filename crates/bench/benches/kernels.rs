@@ -9,6 +9,7 @@ use zenesis_data::{generate_slice, PhantomConfig, SampleKind};
 use zenesis_ground::FeatureGrid;
 use zenesis_image::Image;
 use zenesis_nn::{attention, attention_weights, SwinStage, VitEncoder};
+use zenesis_par::ThreadsGuard;
 use zenesis_sam::{ImageEmbedding, PromptSet, Sam, SamConfig};
 use zenesis_tensor::Matrix;
 
@@ -101,6 +102,53 @@ fn bench_kernel_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// Thread-scaling sweep: the row-banded packed matmul and the query-banded
+/// fused attention at 1/2/4 workers. The `ThreadsGuard` is held for the
+/// whole measurement, so every iteration runs at the labelled count. The
+/// outputs are bit-identical across the sweep (see
+/// `crates/nn/tests/determinism.rs`) — only wall-clock may change.
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_par");
+    group.sample_size(15);
+    let a256 = Matrix::seeded_uniform(256, 256, 1.0, 51);
+    let b256 = Matrix::seeded_uniform(256, 256, 1.0, 52);
+    let a512 = Matrix::seeded_uniform(512, 512, 1.0, 53);
+    let b512 = Matrix::seeded_uniform(512, 512, 1.0, 54);
+    for t in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("matmul_256", t), &t, |bch, &t| {
+            let _g = ThreadsGuard::new(t);
+            bch.iter(|| a256.matmul(&b256))
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_512", t), &t, |bch, &t| {
+            let _g = ThreadsGuard::new(t);
+            bch.iter(|| a512.matmul(&b512))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("attention_par");
+    group.sample_size(20);
+    // n_q = 24 stays on the query-banded fused kernel; 64 rows takes the
+    // unfused materialized-scores route (parallel matmul + row softmax).
+    let qf = Matrix::seeded_uniform(24, 64, 1.0, 61);
+    let kf = Matrix::seeded_uniform(512, 64, 1.0, 62);
+    let vf = Matrix::seeded_uniform(512, 64, 1.0, 63);
+    let qu = Matrix::seeded_uniform(64, 64, 1.0, 64);
+    let ku = Matrix::seeded_uniform(256, 64, 1.0, 65);
+    let vu = Matrix::seeded_uniform(256, 64, 1.0, 66);
+    for t in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("fused_24x512x64", t), &t, |bch, &t| {
+            let _g = ThreadsGuard::new(t);
+            bch.iter(|| attention(&qf, &kf, &vf))
+        });
+        group.bench_with_input(BenchmarkId::new("unfused_64x256x64", t), &t, |bch, &t| {
+            let _g = ThreadsGuard::new(t);
+            bch.iter(|| attention(&qu, &ku, &vu))
+        });
+    }
+    group.finish();
+}
+
 fn bench_ground_and_sam(c: &mut Criterion) {
     let g = generate_slice(&PhantomConfig::new(SampleKind::Crystalline, 9));
     let adapted = AdaptPipeline::recommended().run(&g.raw.to_f32());
@@ -125,6 +173,7 @@ criterion_group!(
     bench_adapt,
     bench_transformer,
     bench_kernel_sweep,
+    bench_parallel_scaling,
     bench_ground_and_sam
 );
 criterion_main!(benches);

@@ -502,7 +502,7 @@ mod tests {
     }
 
     fn mask(seed: u64) -> BitMask {
-        BitMask::from_fn(33, 17, |x, y| (x as u64 * 7 + y as u64 * 13 + seed) % 3 == 0)
+        BitMask::from_fn(33, 17, |x, y| (x as u64 * 7 + y as u64 * 13 + seed).is_multiple_of(3))
     }
 
     fn det(i: usize) -> Detection {

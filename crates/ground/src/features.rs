@@ -70,7 +70,11 @@ impl FeatureGrid {
         let edge = gradient_magnitude(img);
         let coher = orientation_coherence(img, 2.0);
         let global_mean = img.mean_norm() as f32;
-        // Patch pooling (parallel over patches).
+        // Patch pooling (parallel over patches). The inner loops walk
+        // contiguous row slices of each channel map — no per-sample
+        // bounds-checked (x, y) indexing — with the same y-outer /
+        // x-inner accumulation order as the naive form, so pooled values
+        // are bit-identical to it.
         let n = gw * gh;
         let rows: Vec<[f32; N_CHANNELS]> = zenesis_par::par_map_range(n, |t| {
             let (gx, gy) = (t % gw, t / gw);
@@ -84,15 +88,18 @@ impl FeatureGrid {
             let mut edg = 0.0f32;
             let mut elo = 0.0f32;
             for y in y0..y1 {
-                for x in x0..x1 {
-                    let v = img.get(x, y);
-                    mean += v;
-                    tex += texture.get(x, y);
-                    let e = edge.get(x, y);
+                let iv = &img.row(y)[x0..x1];
+                let tv = &texture.row(y)[x0..x1];
+                let ev = &edge.row(y)[x0..x1];
+                let cv = &coher.row(y)[x0..x1];
+                for x in 0..iv.len() {
+                    mean += iv[x];
+                    tex += tv[x];
+                    let e = ev[x];
                     edg += e;
                     // Gate coherence by local edge energy (soft).
                     let gate = (e / 0.6).min(1.0);
-                    elo += coher.get(x, y) * gate * gate;
+                    elo += cv[x] * gate * gate;
                 }
             }
             mean /= count;

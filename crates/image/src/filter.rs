@@ -4,9 +4,46 @@
 //! Filters operate on canonical `f32` images with replicate borders and are
 //! parallelised over row bands via `zenesis-par` (the hot loops of the
 //! adaptation layer and the visual feature pyramid run through here).
+//!
+//! The convolution and Sobel kernels walk output rows with tap-outer
+//! (axpy) inner loops over contiguous row slices — no per-pixel
+//! coordinate arithmetic or clamped gather — and are compiled twice
+//! (portable baseline + AVX2 `#[target_feature]` re-compilation of the
+//! same body) with runtime dispatch via `zenesis_tensor::simd_level`.
+//! Per-pixel accumulation order is fixed (kernel taps in ascending
+//! order), so results are bit-identical across dispatch levels, thread
+//! counts, and to the pre-rewrite per-pixel gather loops — the committed
+//! pipeline checksums (e.g. the `tiff-smoke` golden mask) rely on this.
 
 use crate::image::Image;
-use zenesis_par::par_map_range;
+use zenesis_par::{par_map_range, par_rows, par_rows2_min, small_work_threshold};
+use zenesis_tensor::{simd_level, SimdLevel};
+
+/// Compile a row-band kernel body twice — portable baseline and an AVX2
+/// re-compilation of the identical code — and pick at runtime. The
+/// bodies are plain safe Rust with fixed per-element operation order, so
+/// the two compilations produce bit-identical results (see
+/// `zenesis-tensor`'s `src/simd.rs` for the contract).
+macro_rules! simd_dispatch {
+    ($name:ident => $body:ident ( $($arg:ident : $ty:ty),* $(,)? )) => {
+        fn $name($($arg: $ty),*) {
+            #[cfg(target_arch = "x86_64")]
+            #[target_feature(enable = "avx2")]
+            unsafe fn avx2($($arg: $ty),*) {
+                $body($($arg),*)
+            }
+            match simd_level() {
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: `simd_level()` only reports Avx2 when the CPU
+                // supports it.
+                SimdLevel::Avx2 => unsafe { avx2($($arg),*) },
+                #[cfg(not(target_arch = "x86_64"))]
+                SimdLevel::Avx2 => $body($($arg),*),
+                SimdLevel::Scalar => $body($($arg),*),
+            }
+        }
+    };
+}
 
 /// Build a normalized 1-D Gaussian kernel with radius `ceil(3*sigma)`.
 pub fn gaussian_kernel(sigma: f32) -> Vec<f32> {
@@ -24,36 +61,93 @@ pub fn gaussian_kernel(sigma: f32) -> Vec<f32> {
     k
 }
 
+/// `out[x] += kv * src[clamp(x + d)]` over a whole row: the left and
+/// right clamped fringes replicate the border sample; the interior is a
+/// straight shifted axpy over two contiguous slices, the shape the
+/// vectorizer turns into wide mul+add.
+#[inline(always)]
+fn axpy_shifted_clamped(src: &[f32], kv: f32, d: isize, out: &mut [f32]) {
+    let w = src.len() as isize;
+    let lo = (-d).clamp(0, w) as usize; // first x with x + d >= 0
+    let hi = (w - d).clamp(0, w) as usize; // first x with x + d > w - 1
+    let first = src[0];
+    let last = src[src.len() - 1];
+    for o in &mut out[..lo] {
+        *o += kv * first;
+    }
+    if lo < hi {
+        let s = &src[(lo as isize + d) as usize..(hi as isize + d) as usize];
+        for (o, &v) in out[lo..hi].iter_mut().zip(s) {
+            *o += kv * v;
+        }
+    }
+    for o in &mut out[hi.max(lo)..] {
+        *o += kv * last;
+    }
+}
+
+/// Row-convolve a band of output rows (`y0..y0 + band_rows`): taps in
+/// ascending order, each an [`axpy_shifted_clamped`] over the source
+/// row — per-pixel accumulation order matches the naive gather exactly.
+#[inline(always)]
+fn conv_rows_band_impl(img: &Image<f32>, kernel: &[f32], y0: usize, band: &mut [f32]) {
+    let w = img.dims().0;
+    let r = kernel.len() as isize / 2;
+    for (dy, orow) in band.chunks_mut(w).enumerate() {
+        let src = img.row(y0 + dy);
+        for (j, &kv) in kernel.iter().enumerate() {
+            axpy_shifted_clamped(src, kv, j as isize - r, orow);
+        }
+    }
+}
+
+simd_dispatch!(conv_rows_band => conv_rows_band_impl(
+    img: &Image<f32>,
+    kernel: &[f32],
+    y0: usize,
+    band: &mut [f32],
+));
+
+/// Column-convolve a band of output rows: each tap is a plain axpy of
+/// the (row-clamped) source row onto the output row.
+#[inline(always)]
+fn conv_cols_band_impl(img: &Image<f32>, kernel: &[f32], y0: usize, band: &mut [f32]) {
+    let (w, h) = img.dims();
+    let r = kernel.len() as isize / 2;
+    for (dy, orow) in band.chunks_mut(w).enumerate() {
+        let y = (y0 + dy) as isize;
+        for (j, &kv) in kernel.iter().enumerate() {
+            let sy = (y + j as isize - r).clamp(0, h as isize - 1) as usize;
+            for (o, &v) in orow.iter_mut().zip(img.row(sy)) {
+                *o += kv * v;
+            }
+        }
+    }
+}
+
+simd_dispatch!(conv_cols_band => conv_cols_band_impl(
+    img: &Image<f32>,
+    kernel: &[f32],
+    y0: usize,
+    band: &mut [f32],
+));
+
 /// Convolve rows with `kernel` (odd length), replicate border.
 pub fn convolve_rows(img: &Image<f32>, kernel: &[f32]) -> Image<f32> {
     assert!(kernel.len() % 2 == 1, "kernel length must be odd");
     let (w, h) = img.dims();
-    let r = kernel.len() as isize / 2;
-    let data = par_map_range(w * h, |i| {
-        let (x, y) = ((i % w) as isize, (i / w) as isize);
-        let mut acc = 0.0f32;
-        for (j, &kv) in kernel.iter().enumerate() {
-            acc += kv * img.get_clamped(x + j as isize - r, y);
-        }
-        acc
-    });
-    Image::from_vec(w, h, data).expect("shape preserved")
+    let mut out = vec![0.0f32; w * h];
+    par_rows(&mut out, w, |y0, band| conv_rows_band(img, kernel, y0, band));
+    Image::from_vec(w, h, out).expect("shape preserved")
 }
 
 /// Convolve columns with `kernel` (odd length), replicate border.
 pub fn convolve_cols(img: &Image<f32>, kernel: &[f32]) -> Image<f32> {
     assert!(kernel.len() % 2 == 1, "kernel length must be odd");
     let (w, h) = img.dims();
-    let r = kernel.len() as isize / 2;
-    let data = par_map_range(w * h, |i| {
-        let (x, y) = ((i % w) as isize, (i / w) as isize);
-        let mut acc = 0.0f32;
-        for (j, &kv) in kernel.iter().enumerate() {
-            acc += kv * img.get_clamped(x, y + j as isize - r);
-        }
-        acc
-    });
-    Image::from_vec(w, h, data).expect("shape preserved")
+    let mut out = vec![0.0f32; w * h];
+    par_rows(&mut out, w, |y0, band| conv_cols_band(img, kernel, y0, band));
+    Image::from_vec(w, h, out).expect("shape preserved")
 }
 
 /// Separable convolution: rows then columns with the same 1-D kernel.
@@ -98,35 +192,99 @@ pub fn median_filter(img: &Image<f32>, radius: usize) -> Image<f32> {
     Image::from_vec(w, h, data).expect("shape preserved")
 }
 
+/// Both Sobel responses at column `x` (clamped neighbours `xm`/`xp`),
+/// with the exact expression trees of the 3x3 operators.
+#[inline(always)]
+fn sobel_at(ym: &[f32], yc: &[f32], yp: &[f32], xm: usize, x: usize, xp: usize) -> (f32, f32) {
+    let gx = (ym[xp] + 2.0 * yc[xp] + yp[xp]) - (ym[xm] + 2.0 * yc[xm] + yp[xm]);
+    let gy = (yp[xm] + 2.0 * yp[x] + yp[xp]) - (ym[xm] + 2.0 * ym[x] + ym[xp]);
+    (gx, gy)
+}
+
+/// One output row of both Sobel responses: clamped fringe columns, then
+/// an interior loop over three shifted row windows.
+#[inline(always)]
+fn sobel_row(ym: &[f32], yc: &[f32], yp: &[f32], gx: &mut [f32], gy: &mut [f32]) {
+    let w = yc.len();
+    let (a, b) = sobel_at(ym, yc, yp, 0, 0, 1.min(w - 1));
+    gx[0] = a;
+    gy[0] = b;
+    for x in 1..w.saturating_sub(1) {
+        let (a, b) = sobel_at(ym, yc, yp, x - 1, x, x + 1);
+        gx[x] = a;
+        gy[x] = b;
+    }
+    if w > 1 {
+        let (a, b) = sobel_at(ym, yc, yp, w - 2, w - 1, w - 1);
+        gx[w - 1] = a;
+        gy[w - 1] = b;
+    }
+}
+
+/// The three (row-clamped) source rows around `y`.
+#[inline(always)]
+fn rows3(img: &Image<f32>, y: usize, h: usize) -> (&[f32], &[f32], &[f32]) {
+    (img.row(y.saturating_sub(1)), img.row(y), img.row((y + 1).min(h - 1)))
+}
+
+#[inline(always)]
+fn sobel_band_impl(img: &Image<f32>, y0: usize, gx: &mut [f32], gy: &mut [f32]) {
+    let (w, h) = img.dims();
+    for (dy, (gxr, gyr)) in gx.chunks_mut(w).zip(gy.chunks_mut(w)).enumerate() {
+        let (ym, yc, yp) = rows3(img, y0 + dy, h);
+        sobel_row(ym, yc, yp, gxr, gyr);
+    }
+}
+
+simd_dispatch!(sobel_band => sobel_band_impl(
+    img: &Image<f32>,
+    y0: usize,
+    gx: &mut [f32],
+    gy: &mut [f32],
+));
+
 /// Gradient images `(gx, gy)` from 3x3 Sobel operators.
 pub fn sobel(img: &Image<f32>) -> (Image<f32>, Image<f32>) {
     let (w, h) = img.dims();
-    let gx_data = par_map_range(w * h, |i| {
-        let (x, y) = ((i % w) as isize, (i / w) as isize);
-        let p = |dx: isize, dy: isize| img.get_clamped(x + dx, y + dy);
-        (p(1, -1) + 2.0 * p(1, 0) + p(1, 1)) - (p(-1, -1) + 2.0 * p(-1, 0) + p(-1, 1))
-    });
-    let gy_data = par_map_range(w * h, |i| {
-        let (x, y) = ((i % w) as isize, (i / w) as isize);
-        let p = |dx: isize, dy: isize| img.get_clamped(x + dx, y + dy);
-        (p(-1, 1) + 2.0 * p(0, 1) + p(1, 1)) - (p(-1, -1) + 2.0 * p(0, -1) + p(1, -1))
+    let mut gx = vec![0.0f32; w * h];
+    let mut gy = vec![0.0f32; w * h];
+    par_rows2_min(&mut gx, &mut gy, w, small_work_threshold(), |y0, bx, by| {
+        sobel_band(img, y0, bx, by);
     });
     (
-        Image::from_vec(w, h, gx_data).expect("shape preserved"),
-        Image::from_vec(w, h, gy_data).expect("shape preserved"),
+        Image::from_vec(w, h, gx).expect("shape preserved"),
+        Image::from_vec(w, h, gy).expect("shape preserved"),
     )
 }
 
-/// Gradient magnitude `sqrt(gx^2 + gy^2)`.
-pub fn gradient_magnitude(img: &Image<f32>) -> Image<f32> {
-    let (gx, gy) = sobel(img);
+#[inline(always)]
+fn grad_mag_band_impl(img: &Image<f32>, y0: usize, band: &mut [f32]) {
     let (w, h) = img.dims();
-    let data = par_map_range(w * h, |i| {
-        let a = gx.as_slice()[i];
-        let b = gy.as_slice()[i];
-        (a * a + b * b).sqrt()
-    });
-    Image::from_vec(w, h, data).expect("shape preserved")
+    let mut gx = vec![0.0f32; w];
+    let mut gy = vec![0.0f32; w];
+    for (dy, orow) in band.chunks_mut(w).enumerate() {
+        let (ym, yc, yp) = rows3(img, y0 + dy, h);
+        sobel_row(ym, yc, yp, &mut gx, &mut gy);
+        for (o, (&a, &b)) in orow.iter_mut().zip(gx.iter().zip(gy.iter())) {
+            *o = (a * a + b * b).sqrt();
+        }
+    }
+}
+
+simd_dispatch!(grad_mag_band => grad_mag_band_impl(
+    img: &Image<f32>,
+    y0: usize,
+    band: &mut [f32],
+));
+
+/// Gradient magnitude `sqrt(gx^2 + gy^2)`, fused: the Sobel responses
+/// live only as two row-length scratch buffers per band — the full
+/// gradient images are never materialized.
+pub fn gradient_magnitude(img: &Image<f32>) -> Image<f32> {
+    let (w, h) = img.dims();
+    let mut out = vec![0.0f32; w * h];
+    par_rows(&mut out, w, |y0, band| grad_mag_band(img, y0, band));
+    Image::from_vec(w, h, out).expect("shape preserved")
 }
 
 /// Local standard deviation over a `(2*radius+1)^2` window — the texture

@@ -45,9 +45,19 @@ impl PatchEmbed {
         for t in 0..gw * gh {
             let (gx, gy) = (t % gw, t / gw);
             let row = raw.row_mut(t);
-            for py in 0..p {
-                for px in 0..p {
-                    row[py * p + px] = img.try_get(gx * p + px, gy * p + py).unwrap_or(0.0);
+            let (x0, y0) = (gx * p, gy * p);
+            if x0 + p <= w && y0 + p <= h {
+                // Interior patch: each tile row is a contiguous slice of
+                // an image row — copy it instead of
+                // per-pixel bounds-checked gets.
+                for py in 0..p {
+                    row[py * p..(py + 1) * p].copy_from_slice(&img.row(y0 + py)[x0..x0 + p]);
+                }
+            } else {
+                for py in 0..p {
+                    for px in 0..p {
+                        row[py * p + px] = img.try_get(x0 + px, y0 + py).unwrap_or(0.0);
+                    }
                 }
             }
         }

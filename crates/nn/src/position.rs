@@ -8,19 +8,31 @@ use zenesis_tensor::Matrix;
 pub fn sinusoidal_2d(gw: usize, gh: usize, dim: usize) -> Matrix {
     assert!(dim >= 4 && dim.is_multiple_of(4), "dim must be a multiple of 4");
     let quarter = dim / 4;
+    let half = dim / 2;
+    // The encoding has only `(gw + gh) * dim/2` distinct values: the
+    // frequency depends on the column alone and the phase on one axis
+    // coordinate. Tabulating per axis replaces a `powf` + `sin`/`cos`
+    // per element (libm calls on every token row) with one per table
+    // entry; each element is the exact same expression, so the produced
+    // matrix is unchanged bit for bit.
+    let axis_table = |n: usize| -> Vec<f32> {
+        let mut t = vec![0.0f32; n * half];
+        for (pos, row) in t.chunks_exact_mut(half).enumerate() {
+            for (k, v) in row.iter_mut().enumerate() {
+                let freq = 1.0f32 / 10000f32.powf((k / 2) as f32 / quarter as f32);
+                let arg = pos as f32 * freq;
+                *v = if k % 2 == 0 { arg.sin() } else { arg.cos() };
+            }
+        }
+        t
+    };
+    let xt = axis_table(gw);
+    let yt = axis_table(gh);
     Matrix::from_fn(gw * gh, dim, |idx, c| {
-        let (x, y) = ((idx % gw) as f32, (idx / gw) as f32);
-        let (axis_pos, k) = if c < dim / 2 {
-            (x, c)
+        if c < half {
+            xt[(idx % gw) * half + c]
         } else {
-            (y, c - dim / 2)
-        };
-        let pair = k / 2;
-        let freq = 1.0f32 / 10000f32.powf(pair as f32 / quarter as f32);
-        if k % 2 == 0 {
-            (axis_pos * freq).sin()
-        } else {
-            (axis_pos * freq).cos()
+            yt[(idx / gw) * half + (c - half)]
         }
     })
 }

@@ -12,7 +12,7 @@
 
 use proptest::prelude::*;
 use zenesis_nn::attention;
-use zenesis_tensor::Matrix;
+use zenesis_tensor::{Matrix, ScalarGuard};
 
 /// Unfused reference: scores = Q·Kᵀ/√d, exact-softmax per row, then ·V.
 fn naive_attention(q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
@@ -95,6 +95,106 @@ fn fused_attention_matches_naive_large_dispatch() {
     // materialized-scores route inside `attention_into`.
     check(40, 128, 96, 96);
     check(64, 256, 64, 64);
+}
+
+/// Run `attention` under the runtime-dispatched SIMD path and again with
+/// the scalar fallback forced; the twice-compiled kernel body guarantees
+/// the two are bit-identical, not merely close.
+fn check_dispatch_vs_scalar(n_q: usize, n_kv: usize, d: usize, d_v: usize) {
+    let seed = (n_q * 99_991 + n_kv * 101 + d * 17 + d_v) as u64;
+    let q = Matrix::seeded_uniform(n_q, d, 2.0, seed);
+    let k = Matrix::seeded_uniform(n_kv, d, 2.0, seed ^ 0xbeef);
+    let v = Matrix::seeded_uniform(n_kv, d_v, 2.0, seed ^ 0xfeed);
+    let dispatch = attention(&q, &k, &v);
+    let scalar = {
+        let _g = ScalarGuard::new();
+        attention(&q, &k, &v)
+    };
+    for (i, (a, b)) in dispatch.as_slice().iter().zip(scalar.as_slice()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "attention {n_q}x{n_kv} d={d} d_v={d_v}: flat {i} dispatch {a} scalar {b}"
+        );
+    }
+}
+
+/// S1 remainder sweep: every `n_kv` residue mod 8 at both ends of the size
+/// range (1..=8 and 505..=512), paired and unpaired query counts, checked
+/// against the naive reference AND bit-compared dispatch-vs-forced-scalar.
+#[test]
+fn fused_attention_remainder_sweep_both_paths() {
+    let kv_dims: Vec<usize> = (1..=8).chain(505..=512).collect();
+    for &n_kv in &kv_dims {
+        for n_q in [1usize, 2, 5] {
+            check(n_q, n_kv, 32, 24);
+            check_dispatch_vs_scalar(n_q, n_kv, 32, 24);
+        }
+    }
+    // Odd head dims through the generic scorer at the large-kv end.
+    for d in [7usize, 33] {
+        check(3, 509, d, 19);
+        check_dispatch_vs_scalar(3, 509, d, 19);
+    }
+    // The unfused materialized-scores route (n_q >= 32, large K+V).
+    check_dispatch_vs_scalar(40, 512, 64, 64);
+}
+
+/// S1 non-finite propagation: a NaN planted in one query row must poison
+/// exactly that output row (softmax and the weighted sum are per-row), and
+/// ±inf values in V must flow identically through the dispatched and
+/// forced-scalar kernels.
+#[test]
+fn fused_attention_non_finite_propagation() {
+    let (n_q, n_kv, d, d_v) = (5usize, 37usize, 32usize, 24usize);
+    let q_clean = Matrix::seeded_uniform(n_q, d, 2.0, 77);
+    let k = Matrix::seeded_uniform(n_kv, d, 2.0, 78);
+    let v = Matrix::seeded_uniform(n_kv, d_v, 2.0, 79);
+    let clean = attention(&q_clean, &k, &v);
+
+    let mut q = q_clean.clone();
+    q.set(1, 4, f32::NAN);
+    let got = attention(&q, &k, &v);
+    for c in 0..d_v {
+        assert!(got.get(1, c).is_nan(), "poisoned row col {c} not NaN");
+    }
+    for r in [0usize, 2, 3, 4] {
+        for c in 0..d_v {
+            assert_eq!(
+                got.get(r, c).to_bits(),
+                clean.get(r, c).to_bits(),
+                "clean row {r} changed by NaN in row 1"
+            );
+        }
+    }
+    let scalar = {
+        let _g = ScalarGuard::new();
+        attention(&q, &k, &v)
+    };
+    for (a, b) in got.as_slice().iter().zip(scalar.as_slice()) {
+        assert!(
+            a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()),
+            "NaN case dispatch vs scalar: {a} vs {b}"
+        );
+    }
+
+    let mut v_inf = v.clone();
+    v_inf.set(3, 0, f32::INFINITY);
+    v_inf.set(9, 5, f32::NEG_INFINITY);
+    let got_inf = attention(&q_clean, &k, &v_inf);
+    let scalar_inf = {
+        let _g = ScalarGuard::new();
+        attention(&q_clean, &k, &v_inf)
+    };
+    let mut saw_non_finite = false;
+    for (a, b) in got_inf.as_slice().iter().zip(scalar_inf.as_slice()) {
+        saw_non_finite |= !a.is_finite();
+        assert!(
+            a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()),
+            "inf case dispatch vs scalar: {a} vs {b}"
+        );
+    }
+    assert!(saw_non_finite, "±inf in V vanished: softmax weights are strictly positive");
 }
 
 proptest! {

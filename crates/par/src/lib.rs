@@ -38,8 +38,9 @@ pub use join::join;
 pub use pool::ThreadPool;
 pub use progress::Progress;
 pub use scope::{
-    chunk_len, par_for_each, par_for_each_indexed, par_map, par_map_range, par_reduce_range,
-    par_rows, par_rows_min, small_work_threshold, SMALL_WORK_ELEMS,
+    chunk_len, in_worker, par_for_each, par_for_each_indexed, par_map, par_map_range,
+    par_reduce_range, par_rows, par_rows2_min, par_rows_min, small_work_threshold,
+    SMALL_WORK_ELEMS,
 };
 
 #[cfg(test)]

@@ -7,11 +7,43 @@
 //! sequential order. `std::thread::scope` lets the closures borrow from the
 //! caller without `'static` bounds, and propagates worker panics.
 
+use std::cell::Cell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use crate::config::current_threads;
+
+thread_local! {
+    /// Set for the lifetime of a scoped-parallelism worker thread.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True on a thread currently executing inside a scoped `zenesis-par`
+/// worker closure (`par_for_each*`, `par_map*`, `par_reduce_range`,
+/// `par_rows*`). Every parallel entry point in this module checks it and
+/// runs inline when set, so nested data parallelism (a parallel matmul
+/// called from a per-head attention worker, say) degrades to sequential
+/// execution on the worker instead of fanning out again and
+/// oversubscribing the machine. Persistent [`crate::ThreadPool`] workers
+/// are deliberately *not* marked: served jobs are coarse-grained and may
+/// legitimately fan out into data parallelism.
+///
+/// Because every parallel result is bit-identical to its sequential
+/// counterpart (disjoint `&mut` bands, sequential order within a band),
+/// running inline never changes results — only scheduling.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|f| f.get())
+}
+
+/// Mark the current thread as a worker for the duration of `f`. Workers
+/// are fresh scoped threads that die at scope exit, so there is no prior
+/// state to restore.
+#[inline]
+fn as_worker<R>(f: impl FnOnce() -> R) -> R {
+    IN_WORKER.with(|flag| flag.set(true));
+    f()
+}
 
 /// Default element count below which [`par_rows`] runs inline on the
 /// caller thread: spawning scoped workers costs tens of microseconds,
@@ -71,7 +103,7 @@ where
 {
     let n = data.len();
     let workers = current_threads();
-    if workers <= 1 || n < 2 {
+    if workers <= 1 || n < 2 || in_worker() {
         for (i, v) in data.iter_mut().enumerate() {
             f(i, v);
         }
@@ -91,7 +123,7 @@ where
         .collect();
     std::thread::scope(|s| {
         for _ in 0..workers.min(n_chunks) {
-            s.spawn(|| {
+            s.spawn(|| as_worker(|| {
                 zenesis_obs::with_trace(trace, || zenesis_obs::with_parent(parent, || loop {
                     let c = next.fetch_add(1, Ordering::Relaxed);
                     if c >= n_chunks {
@@ -103,7 +135,7 @@ where
                         f(base + off, v);
                     }
                 }))
-            });
+            }));
         }
     });
 }
@@ -128,7 +160,7 @@ where
     F: Fn(usize) -> U + Sync,
 {
     let workers = current_threads();
-    if workers <= 1 || n < 2 {
+    if workers <= 1 || n < 2 || in_worker() {
         return (0..n).map(f).collect();
     }
     let chunk = chunk_len(n, workers);
@@ -150,7 +182,7 @@ where
             .collect();
         std::thread::scope(|s| {
             for _ in 0..workers.min(n_chunks) {
-                s.spawn(|| {
+                s.spawn(|| as_worker(|| {
                     zenesis_obs::with_trace(trace, || zenesis_obs::with_parent(parent, || loop {
                         let c = next.fetch_add(1, Ordering::Relaxed);
                         if c >= n_chunks {
@@ -162,7 +194,7 @@ where
                             slot.write(f(base + off));
                         }
                     }))
-                });
+                }));
             }
         });
         // If a worker panicked, scope() already propagated it; reaching here
@@ -193,7 +225,7 @@ where
     C: Fn(A, A) -> A + Sync,
 {
     let workers = current_threads();
-    if workers <= 1 || n < 2 {
+    if workers <= 1 || n < 2 || in_worker() {
         return (0..n).fold(identity(), fold);
     }
     let chunk = chunk_len(n, workers);
@@ -205,7 +237,7 @@ where
     let partials = parking_lot::Mutex::new(Vec::with_capacity(workers));
     std::thread::scope(|s| {
         for _ in 0..workers.min(n_chunks) {
-            s.spawn(|| {
+            s.spawn(|| as_worker(|| {
                 zenesis_obs::with_trace(trace, || zenesis_obs::with_parent(parent, || {
                     let mut acc = identity();
                     let mut did_work = false;
@@ -225,7 +257,7 @@ where
                         partials.lock().push(acc);
                     }
                 }))
-            });
+            }));
         }
     });
     partials
@@ -262,7 +294,7 @@ where
     assert_eq!(data.len() % row_len, 0, "buffer not a whole number of rows");
     let rows = data.len() / row_len;
     let workers = current_threads();
-    if workers <= 1 || rows < 2 || data.len() < min_elems {
+    if workers <= 1 || rows < 2 || data.len() < min_elems || in_worker() {
         f(0, data);
         return;
     }
@@ -278,7 +310,7 @@ where
         .collect();
     std::thread::scope(|s| {
         for _ in 0..workers.min(n_bands) {
-            s.spawn(|| {
+            s.spawn(|| as_worker(|| {
                 zenesis_obs::with_trace(trace, || zenesis_obs::with_parent(parent, || loop {
                     let b = next.fetch_add(1, Ordering::Relaxed);
                     if b >= n_bands {
@@ -287,7 +319,53 @@ where
                     let band = bands[b].lock().take().expect("band claimed twice");
                     f(b * rows_per_band, band);
                 }))
-            });
+            }));
+        }
+    });
+}
+
+/// [`par_rows_min`] over *two* equally-shaped flat row-major buffers:
+/// each worker call receives the same disjoint row band from both, so a
+/// kernel can fill two outputs in one pass (e.g. the Sobel gx/gy pair)
+/// without interleaving them or scheduling two sweeps.
+pub fn par_rows2_min<T, F>(a: &mut [T], b: &mut [T], row_len: usize, min_elems: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T], &mut [T]) + Sync,
+{
+    assert!(row_len > 0, "row_len must be positive");
+    assert_eq!(a.len(), b.len(), "paired buffers differ in length");
+    assert_eq!(a.len() % row_len, 0, "buffer not a whole number of rows");
+    let rows = a.len() / row_len;
+    let workers = current_threads();
+    if workers <= 1 || rows < 2 || a.len() < min_elems || in_worker() {
+        f(0, a, b);
+        return;
+    }
+    let rows_per_band = chunk_len(rows, workers);
+    let n_bands = rows.div_ceil(rows_per_band);
+    note_chunks(rows_per_band, n_bands);
+    let next = AtomicUsize::new(0);
+    let parent = zenesis_obs::current();
+    let trace = zenesis_obs::current_trace();
+    type Band<'b, T> = parking_lot::Mutex<Option<(&'b mut [T], &'b mut [T])>>;
+    let bands: Vec<Band<'_, T>> = a
+        .chunks_mut(rows_per_band * row_len)
+        .zip(b.chunks_mut(rows_per_band * row_len))
+        .map(|(ca, cb)| parking_lot::Mutex::new(Some((ca, cb))))
+        .collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(n_bands) {
+            s.spawn(|| as_worker(|| {
+                zenesis_obs::with_trace(trace, || zenesis_obs::with_parent(parent, || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_bands {
+                        break;
+                    }
+                    let (ba, bb) = bands[i].lock().take().expect("band claimed twice");
+                    f(i * rows_per_band, ba, bb);
+                }))
+            }));
         }
     });
 }
@@ -383,6 +461,44 @@ mod tests {
         let main_id = std::thread::current().id();
         let ids = par_map_range(8, |_| std::thread::current().id());
         assert!(ids.iter().all(|id| *id == main_id));
+    }
+
+    #[test]
+    fn rows2_bands_are_paired_and_complete() {
+        let _g = ThreadsGuard::new(4);
+        let row_len = 9;
+        let rows = 41;
+        let mut a = vec![0u32; row_len * rows];
+        let mut b = vec![0u32; row_len * rows];
+        par_rows2_min(&mut a, &mut b, row_len, 0, |row_start, ba, bb| {
+            assert_eq!(ba.len(), bb.len());
+            for (r, (ra, rb)) in ba.chunks_mut(row_len).zip(bb.chunks_mut(row_len)).enumerate() {
+                ra.fill((row_start + r) as u32);
+                rb.fill((row_start + r) as u32 * 2);
+            }
+        });
+        for (r, (ra, rb)) in a.chunks(row_len).zip(b.chunks(row_len)).enumerate() {
+            assert!(ra.iter().all(|&v| v == r as u32));
+            assert!(rb.iter().all(|&v| v == r as u32 * 2));
+        }
+    }
+
+    #[test]
+    fn nested_parallelism_runs_inline_in_workers() {
+        let _g = ThreadsGuard::new(4);
+        assert!(!in_worker());
+        let mut buf = vec![0u32; 64];
+        par_rows_min(&mut buf, 8, 0, |_, band| {
+            assert!(in_worker());
+            // A nested parallel call from inside a worker stays on the
+            // worker thread instead of fanning out again.
+            let tid = std::thread::current().id();
+            let ids = par_map_range(8, |_| std::thread::current().id());
+            assert!(ids.iter().all(|id| *id == tid));
+            band.fill(1);
+        });
+        assert!(!in_worker());
+        assert!(buf.iter().all(|&v| v == 1));
     }
 
     #[test]

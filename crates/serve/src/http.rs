@@ -82,7 +82,7 @@ fn handle_connection(
         return Ok(());
     }
     if request_line.trim().is_empty() {
-        return respond(
+        return respond_linger(
             &mut stream,
             "400 Bad Request",
             "text/plain",
@@ -98,14 +98,14 @@ fn handle_connection(
         let mut header = String::new();
         if reader.read_line(&mut header)? == 0 {
             return if reader.limit() == 0 {
-                respond(
+                respond_linger(
                     &mut stream,
                     "431 Request Header Fields Too Large",
                     "text/plain",
                     "request head exceeds 8192 bytes\n",
                 )
             } else {
-                respond(
+                respond_linger(
                     &mut stream,
                     "400 Bad Request",
                     "text/plain",
@@ -121,7 +121,8 @@ fn handle_connection(
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
     if method != "GET" {
-        return respond(
+        // The unsupported method may carry a body we never read.
+        return respond_linger(
             &mut stream,
             "405 Method Not Allowed",
             "text/plain",
@@ -197,6 +198,37 @@ fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str)
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
+}
+
+/// Upper bound on peer bytes discarded during a lingering close; enough
+/// for any plausible request tail without letting a drip-feeding peer
+/// hold the (sequential) sidecar indefinitely.
+const MAX_LINGER_BYTES: usize = 64 * 1024;
+
+/// [`respond`] for errors answered before the request was fully read
+/// (oversized or malformed head, non-GET with a body). Closing with
+/// unread bytes in the receive queue makes the kernel send RST, which
+/// can destroy the response before the peer reads it — so half-close
+/// the write side and drain a bounded amount of the remaining input
+/// first. Reads inherit the connection's `IO_TIMEOUT`, so a stalled
+/// peer cannot wedge the listener beyond one timeout.
+fn respond_linger(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    respond(stream, status, content_type, body)?;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 4096];
+    let mut drained = 0;
+    while drained < MAX_LINGER_BYTES {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

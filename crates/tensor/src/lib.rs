@@ -18,13 +18,16 @@
 mod matmul;
 mod matrix;
 mod ops;
+mod simd;
 mod view;
 mod workspace;
 
 pub use matmul::{MR, NR, PAR_MIN_MADDS};
 pub use matrix::Matrix;
 pub use ops::{
-    fast_exp, gelu, gelu_inplace, layernorm_rows, layernorm_rows_into, softmax_row, softmax_rows,
+    fast_exp, fast_tanh, gelu, gelu_inplace, layernorm_rows, layernorm_rows_into, softmax_row,
+    softmax_rows, softmax_rows_inplace,
 };
+pub use simd::{simd_level, ScalarGuard, SimdLevel};
 pub use view::{MatView, MatViewMut};
 pub use workspace::Workspace;

@@ -2,26 +2,34 @@
 //!
 //! Both products (`A·B` and `A·Bᵀ`) reduce to the same micro-kernel:
 //! the RHS is repacked into [`NR`]-wide column panels laid out k-major
-//! (`panel[kk * NR + jr]`), and each output row is produced panel by
-//! panel with an `NR`-lane accumulator. The inner loop is a broadcast
-//! multiply-add over a fixed-width array, the exact shape LLVM's
-//! autovectorizer turns into SIMD fma/mul+add chains; the panel layout
-//! makes every load contiguous regardless of whether the logical RHS was
-//! `k x n` or (for `A·Bᵀ`) `n x k`.
+//! (`panel[kk * NR + jr]`), and output rows are produced four at a time
+//! against each panel with an `NR`-lane accumulator per row. The inner
+//! loop is a broadcast multiply-add over fixed-width arrays, the exact
+//! shape LLVM's autovectorizer turns into SIMD mul+add chains; the panel
+//! layout makes every load contiguous regardless of whether the logical
+//! RHS was `k x n` or (for `A·Bᵀ`) `n x k`.
 //!
 //! Blocking: output rows are walked in [`MR`]-row blocks with the panel
 //! loop outside the row loop, so one ~`k·NR·4`-byte panel stays resident
-//! in L1 while it is reused across the whole row block. The k dimension
-//! is contracted in source order, so results are bit-identical to the
-//! naive triple loop.
+//! in L1 while it is reused across the whole row block; inside a block
+//! the 4×NR micro-kernel amortizes each panel load across four rows.
+//! The k dimension is contracted in source order, so results are
+//! bit-identical to the naive triple loop.
+//!
+//! The band kernel is compiled twice — portable baseline and an AVX2
+//! `#[target_feature]` re-compilation of the *same body* — and
+//! dispatched at runtime (`simd::simd_level`). Per-lane operation order
+//! is identical at either width, so SIMD-on and forced-scalar results
+//! are bit-identical (see `src/simd.rs`).
 //!
 //! Products below [`PAR_MIN_MADDS`] multiply-adds skip the thread pool
 //! entirely — fan-out overhead dominates small kernels (a 3-token
 //! grounding query, a SAM prompt head), and the serving layer already
 //! parallelizes across jobs at that scale.
 
+use crate::simd::{simd_level, SimdLevel};
 use crate::workspace::Workspace;
-use zenesis_par::{current_threads, par_rows_min};
+use zenesis_par::{current_threads, in_worker, par_rows_min};
 
 /// Panel width: accumulator lanes per output-column group.
 pub const NR: usize = 8;
@@ -75,43 +83,189 @@ fn pack_rhs_t(rhs: &[f32], k: usize, n: usize, packed: &mut [f32]) {
     }
 }
 
-/// `acc[jr] += Σ_kk a[kk] * panel[kk*NR + jr]` — the 1xNR micro-kernel.
-/// `a.len() == k` and `panel.len() == k * NR`; the fixed-width inner
-/// loop autovectorizes to a broadcast-multiply-accumulate.
+/// `R` output rows against *two* adjacent full panels: per `k` step, two
+/// panel vector loads are contracted against `R` broadcast LHS values
+/// (`2R` independent `NR`-lane accumulators). Two panels per broadcast is
+/// the shape LLVM compiles to clean `vbroadcastss`+`vmulps`+`vaddps`
+/// chains — one panel with many broadcasts trips its SLP pass into
+/// cross-row shuffle soup. Per-element contraction order is `kk`
+/// ascending either way, so panel grouping never changes results.
 #[inline(always)]
-fn micro_1xnr(a: &[f32], panel: &[f32], acc: &mut [f32; NR]) {
-    debug_assert_eq!(panel.len(), a.len() * NR);
-    for (av, p) in a.iter().zip(panel.chunks_exact(NR)) {
-        let av = *av;
-        for jr in 0..NR {
-            acc[jr] += av * p[jr];
+fn micro_rx2<const R: usize>(
+    a: [&[f32]; R],
+    pa: &[f32],
+    pb: &[f32],
+    acc_a: &mut [[f32; NR]; R],
+    acc_b: &mut [[f32; NR]; R],
+) {
+    let kx = pa.len() / NR;
+    // Re-slice to the provable trip count so the `a[r][kk]` broadcasts
+    // carry no bounds checks.
+    let a = a.map(|s| &s[..kx]);
+    for (kk, (ca, cb)) in pa.chunks_exact(NR).zip(pb.chunks_exact(NR)).enumerate() {
+        for r in 0..R {
+            let v = a[r][kk];
+            for jr in 0..NR {
+                acc_a[r][jr] += v * ca[jr];
+            }
+            for jr in 0..NR {
+                acc_b[r][jr] += v * cb[jr];
+            }
+        }
+    }
+}
+
+/// `R` output rows against one (possibly tail-narrow) panel — the
+/// remainder companion of [`micro_rx2`], same per-row contraction order.
+#[inline(always)]
+fn micro_rx1<const R: usize>(a: [&[f32]; R], pa: &[f32], acc: &mut [[f32; NR]; R]) {
+    let kx = pa.len() / NR;
+    let a = a.map(|s| &s[..kx]);
+    for (kk, ca) in pa.chunks_exact(NR).enumerate() {
+        for r in 0..R {
+            let v = a[r][kk];
+            for jr in 0..NR {
+                acc[r][jr] += v * ca[jr];
+            }
         }
     }
 }
 
 /// Compute one band of output rows (`row_start..row_start + band_rows`)
-/// against the fully packed RHS.
-fn band_kernel(lhs: &[f32], k: usize, n: usize, packed: &[f32], row_start: usize, band: &mut [f32]) {
+/// against the fully packed RHS. `#[inline(always)]` so the dispatch
+/// wrappers below re-compile this body (and the micro-kernels it inlines)
+/// under their own target features.
+#[inline(always)]
+fn band_kernel_impl(
+    lhs: &[f32],
+    k: usize,
+    n: usize,
+    packed: &[f32],
+    row_start: usize,
+    band: &mut [f32],
+) {
     let n_panels = n.div_ceil(NR);
+    // Full-width panels are consumed two at a time by the paired
+    // micro-kernel; a leftover full panel and the zero-padded tail panel
+    // take the single-panel path.
+    let pair_panels = (n / NR) & !1;
     let band_rows = band.len() / n;
     let mut rb = 0;
     while rb < band_rows {
         let rows_here = MR.min(band_rows - rb);
-        // Panel loop outside the row loop: the panel stays in L1 while
-        // every row of the block consumes it.
-        for p in 0..n_panels {
+        let r_end = rb + rows_here;
+        // Panel loop outside the row loop: the panel pair stays in L1
+        // while every row of the block consumes it.
+        let mut p = 0;
+        while p < pair_panels {
+            let pa = &packed[p * NR * k..(p + 1) * NR * k];
+            let pb = &packed[(p + 1) * NR * k..(p + 2) * NR * k];
+            let j0 = p * NR;
+            let mut r = rb;
+            while r + 4 <= r_end {
+                let i = row_start + r;
+                let a_rows = [
+                    &lhs[i * k..(i + 1) * k],
+                    &lhs[(i + 1) * k..(i + 2) * k],
+                    &lhs[(i + 2) * k..(i + 3) * k],
+                    &lhs[(i + 3) * k..(i + 4) * k],
+                ];
+                let mut acc_a = [[0.0f32; NR]; 4];
+                let mut acc_b = [[0.0f32; NR]; 4];
+                micro_rx2(a_rows, pa, pb, &mut acc_a, &mut acc_b);
+                for dr in 0..4 {
+                    // Both panels are full width: fixed-size copies become
+                    // single vector stores, not memcpy calls.
+                    let o0 = (r + dr) * n + j0;
+                    band[o0..o0 + NR].copy_from_slice(&acc_a[dr]);
+                    band[o0 + NR..o0 + 2 * NR].copy_from_slice(&acc_b[dr]);
+                }
+                r += 4;
+            }
+            while r < r_end {
+                let i = row_start + r;
+                let mut acc_a = [[0.0f32; NR]; 1];
+                let mut acc_b = [[0.0f32; NR]; 1];
+                micro_rx2([&lhs[i * k..(i + 1) * k]], pa, pb, &mut acc_a, &mut acc_b);
+                let o0 = r * n + j0;
+                band[o0..o0 + NR].copy_from_slice(&acc_a[0]);
+                band[o0 + NR..o0 + 2 * NR].copy_from_slice(&acc_b[0]);
+                r += 1;
+            }
+            p += 2;
+        }
+        while p < n_panels {
             let panel = &packed[p * NR * k..(p + 1) * NR * k];
             let j0 = p * NR;
             let width = NR.min(n - j0);
-            for r in rb..rb + rows_here {
+            let mut r = rb;
+            while r + 4 <= r_end {
                 let i = row_start + r;
-                let a_row = &lhs[i * k..(i + 1) * k];
-                let mut acc = [0.0f32; NR];
-                micro_1xnr(a_row, panel, &mut acc);
-                band[r * n + j0..r * n + j0 + width].copy_from_slice(&acc[..width]);
+                let a_rows = [
+                    &lhs[i * k..(i + 1) * k],
+                    &lhs[(i + 1) * k..(i + 2) * k],
+                    &lhs[(i + 2) * k..(i + 3) * k],
+                    &lhs[(i + 3) * k..(i + 4) * k],
+                ];
+                let mut acc = [[0.0f32; NR]; 4];
+                micro_rx1(a_rows, panel, &mut acc);
+                for (dr, acc_row) in acc.iter().enumerate() {
+                    let o0 = (r + dr) * n + j0;
+                    band[o0..o0 + width].copy_from_slice(&acc_row[..width]);
+                }
+                r += 4;
             }
+            while r < r_end {
+                let i = row_start + r;
+                let mut acc = [[0.0f32; NR]; 1];
+                micro_rx1([&lhs[i * k..(i + 1) * k]], panel, &mut acc);
+                band[r * n + j0..r * n + j0 + width].copy_from_slice(&acc[0][..width]);
+                r += 1;
+            }
+            p += 1;
         }
         rb += rows_here;
+    }
+}
+
+/// Portable-baseline compilation of the band kernel.
+fn band_kernel_scalar(
+    lhs: &[f32],
+    k: usize,
+    n: usize,
+    packed: &[f32],
+    row_start: usize,
+    band: &mut [f32],
+) {
+    band_kernel_impl(lhs, k, n, packed, row_start, band);
+}
+
+/// AVX2 re-compilation of the identical body: the independent `NR = 8`
+/// accumulator lanes widen to single 256-bit mul+add chains. No FMA is
+/// emitted (the source has separate mul and add), so per-lane rounding
+/// matches the scalar build exactly.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn band_kernel_avx2(
+    lhs: &[f32],
+    k: usize,
+    n: usize,
+    packed: &[f32],
+    row_start: usize,
+    band: &mut [f32],
+) {
+    band_kernel_impl(lhs, k, n, packed, row_start, band);
+}
+
+/// Runtime-dispatched band kernel (see `src/simd.rs` for the contract).
+fn band_kernel(lhs: &[f32], k: usize, n: usize, packed: &[f32], row_start: usize, band: &mut [f32]) {
+    match simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `simd_level()` only reports Avx2 when the CPU supports it.
+        SimdLevel::Avx2 => unsafe { band_kernel_avx2(lhs, k, n, packed, row_start, band) },
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdLevel::Avx2 => band_kernel_scalar(lhs, k, n, packed, row_start, band),
+        SimdLevel::Scalar => band_kernel_scalar(lhs, k, n, packed, row_start, band),
     }
 }
 
@@ -139,7 +293,11 @@ pub(crate) fn matmul_packed(
         pack_rhs(rhs, k, n, &mut packed);
     }
     let madds = m * n * k;
-    if madds < PAR_MIN_MADDS || current_threads() <= 1 {
+    // `in_worker()` keeps nested calls (e.g. per-head matmuls already
+    // fanned out by the attention layer) on the caller thread instead of
+    // oversubscribing the pool; the bit-stability contract makes the
+    // inline and fanned-out results identical anyway.
+    if madds < PAR_MIN_MADDS || current_threads() <= 1 || in_worker() {
         band_kernel(lhs, k, n, &packed, 0, out);
     } else {
         let packed_ref = &packed;

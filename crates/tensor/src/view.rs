@@ -45,6 +45,25 @@ impl<'a> MatView<'a> {
         self.cols
     }
 
+    /// Whether rows are adjacent in memory (stride == cols). Kernels that
+    /// re-stream every row many times check this to decide whether a
+    /// one-time contiguous repack pays for itself.
+    #[inline]
+    pub fn is_contiguous(&self) -> bool {
+        self.stride == self.cols
+    }
+
+    /// The rows as a plain chunk iterator when the view is contiguous —
+    /// lets hot sweeps zip rows without per-row offset arithmetic.
+    #[inline]
+    pub fn contiguous_rows(&self) -> Option<core::slice::ChunksExact<'a, f32>> {
+        if self.stride == self.cols {
+            Some(self.data[..self.rows * self.cols].chunks_exact(self.cols))
+        } else {
+            None
+        }
+    }
+
     /// One row as a contiguous slice.
     #[inline]
     pub fn row(&self, r: usize) -> &'a [f32] {
@@ -97,6 +116,27 @@ impl<'a> MatViewMut<'a> {
         self.cols
     }
 
+    /// Rows `r` and `r + 1` mutably at once, for kernels that produce
+    /// output rows in pairs.
+    #[inline]
+    pub fn rows_pair_mut(&mut self, r: usize) -> (&mut [f32], &mut [f32]) {
+        debug_assert!(r + 1 < self.rows);
+        let (lo, hi) = self.data.split_at_mut((r + 1) * self.stride);
+        (&mut lo[r * self.stride..r * self.stride + self.cols], &mut hi[..self.cols])
+    }
+
+    /// Rows `r .. r + 4` mutably at once, for kernels that produce output
+    /// rows four at a time.
+    #[inline]
+    pub fn rows_quad_mut(&mut self, r: usize) -> [&mut [f32]; 4] {
+        debug_assert!(r + 3 < self.rows);
+        let cols = self.cols;
+        let (a, rest) = self.data[r * self.stride..].split_at_mut(self.stride);
+        let (b, rest) = rest.split_at_mut(self.stride);
+        let (c, d) = rest.split_at_mut(self.stride);
+        [&mut a[..cols], &mut b[..cols], &mut c[..cols], &mut d[..cols]]
+    }
+
     /// One row as a contiguous mutable slice.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
@@ -108,6 +148,27 @@ impl<'a> MatViewMut<'a> {
     pub fn row(&self, r: usize) -> &[f32] {
         debug_assert!(r < self.rows);
         &self.data[r * self.stride..r * self.stride + self.cols]
+    }
+
+    /// Re-borrow as a shorter-lived view, so a `&mut MatViewMut` can be
+    /// consumed by [`MatViewMut::split_rows`] without giving up the
+    /// original.
+    pub fn reborrow(&mut self) -> MatViewMut<'_> {
+        MatViewMut { data: &mut *self.data, rows: self.rows, cols: self.cols, stride: self.stride }
+    }
+
+    /// Split into two disjoint row bands at row `r` (`0 < r < rows`):
+    /// rows `0..r` and rows `r..rows`. Both halves keep the original
+    /// stride, so splitting a column band of a concat buffer hands out
+    /// disjoint `&mut` regions that parallel workers can fill
+    /// independently.
+    pub fn split_rows(self, r: usize) -> (MatViewMut<'a>, MatViewMut<'a>) {
+        assert!(r > 0 && r < self.rows, "row split point out of range");
+        let (lo, hi) = self.data.split_at_mut(r * self.stride);
+        (
+            MatViewMut { data: lo, rows: r, cols: self.cols, stride: self.stride },
+            MatViewMut { data: hi, rows: self.rows - r, cols: self.cols, stride: self.stride },
+        )
     }
 }
 
@@ -188,5 +249,44 @@ mod tests {
     fn out_of_range_band_panics() {
         let m = Matrix::zeros(2, 4);
         let _ = m.col_band(2, 3);
+    }
+
+    #[test]
+    fn split_rows_covers_strided_band_disjointly() {
+        let mut m = Matrix::zeros(6, 5);
+        {
+            let band = m.col_band_mut(1, 3);
+            let (mut top, rest) = band.split_rows(2);
+            let (mut mid, mut bot) = rest.split_rows(1);
+            assert_eq!((top.rows(), mid.rows(), bot.rows()), (2, 1, 3));
+            for r in 0..2 {
+                top.row_mut(r).fill(1.0);
+            }
+            mid.row_mut(0).fill(2.0);
+            for r in 0..3 {
+                bot.row_mut(r).fill(3.0);
+            }
+        }
+        for r in 0..6 {
+            let want = if r < 2 { 1.0 } else if r < 3 { 2.0 } else { 3.0 };
+            assert_eq!(m.get(r, 0), 0.0, "outside band untouched");
+            assert_eq!(m.get(r, 4), 0.0, "outside band untouched");
+            for c in 1..4 {
+                assert_eq!(m.get(r, c), want, "row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn reborrow_then_split_leaves_original_usable() {
+        let mut m = Matrix::zeros(4, 2);
+        let mut v = m.view_mut();
+        {
+            let (mut a, mut b) = v.reborrow().split_rows(3);
+            a.row_mut(0).fill(7.0);
+            b.row_mut(0).fill(8.0);
+        }
+        assert_eq!(v.row(0), &[7.0, 7.0]);
+        assert_eq!(v.row(3), &[8.0, 8.0]);
     }
 }
