@@ -29,6 +29,9 @@ fn config(workers: usize, queue_cap: usize) -> ServeConfig {
         max_retries: 0,
         retry_base_ms: 1,
         flight_dir: None,
+        process_workers: false,
+        heartbeat_ms: 1000,
+        worker_exe: None,
     }
 }
 

@@ -38,6 +38,9 @@ use crate::temporal::SliceOutcome;
 /// Journal file name inside the checkpoint directory.
 pub const JOURNAL_FILE: &str = "volume.journal.jsonl";
 
+/// Lease file name inside the checkpoint directory (see [`Lease`]).
+pub const LEASE_FILE: &str = "volume.lease.json";
+
 /// Where (and whether) a volume run checkpoints.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckpointSpec {
@@ -289,11 +292,22 @@ impl Journal {
             let data = std::fs::read(&path)?;
             let (records, valid_bytes, corrupt) = scan(&data);
             if valid_bytes < data.len() {
+                // Recovery papers over the data loss (the dropped records
+                // are simply recomputed), so the loss itself must be loud:
+                // a warn + counter with the exact byte offset, not just
+                // the structured corrupt-tail event.
+                let dropped = data.len() - valid_bytes;
+                zenesis_obs::counter("checkpoint.truncated").inc();
+                zenesis_obs::events::warn(format!(
+                    "checkpoint journal truncated at byte {valid_bytes} \
+                     ({dropped} corrupt/torn tail bytes dropped)"
+                ));
                 if let Some(reason) = corrupt {
                     zenesis_obs::counter("checkpoint.corrupt_tail").inc();
                     zenesis_obs::events::emit(
                         zenesis_obs::events::Event::CheckpointCorruptTail {
                             kept: records.len(),
+                            offset: valid_bytes as u64,
                             reason,
                         },
                     );
@@ -490,6 +504,166 @@ fn scan(data: &[u8]) -> (Vec<Record>, usize, Option<String>) {
     (records, valid, None)
 }
 
+/// Current byte length of the journal in `dir` (0 when absent). The
+/// supervisor's poison breaker uses growth of this number as "the dead
+/// worker made forward progress before it died".
+pub fn journal_len(dir: &Path) -> u64 {
+    std::fs::metadata(dir.join(JOURNAL_FILE))
+        .map(|m| m.len())
+        .unwrap_or(0)
+}
+
+/// Read the [`Header`] of an existing journal in `dir` without opening
+/// it for append: `None` when there is no journal, the file is
+/// unreadable, or its first record is not an intact header.
+pub fn discover(dir: &Path) -> Option<Header> {
+    let data = std::fs::read(dir.join(JOURNAL_FILE)).ok()?;
+    let (records, _, _) = scan(&data);
+    match records.first() {
+        Some(Record::Header {
+            depth,
+            width,
+            height,
+            fingerprint,
+        }) => Some(Header {
+            depth: *depth,
+            width: *width,
+            height: *height,
+            fingerprint: *fingerprint,
+        }),
+        _ => None,
+    }
+}
+
+/// Why a [`Lease`] could not be acquired.
+#[derive(Debug)]
+pub enum LeaseError {
+    /// Another live process holds the lease.
+    Held {
+        /// The holder's pid, as recorded in the lease file.
+        pid: u32,
+    },
+    /// The lease file could not be read or written.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for LeaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LeaseError::Held { pid } => {
+                write!(f, "checkpoint directory leased by live process {pid}")
+            }
+            LeaseError::Io(e) => write!(f, "lease I/O failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LeaseError {}
+
+/// What the lease file stores: which run the lease binds to and who
+/// holds it.
+#[derive(Debug, Serialize, Deserialize)]
+struct LeaseRecord {
+    fingerprint: u64,
+    pid: u32,
+}
+
+/// Whether `pid` names a live process. Linux-only `/proc` probe (no
+/// libc dependency); other platforms conservatively report dead, which
+/// degrades the lease to advisory there.
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new("/proc").join(pid.to_string()).exists()
+    } else {
+        false
+    }
+}
+
+/// A fingerprint-bound exclusive lease on a checkpoint directory.
+///
+/// The supervisor takes the lease before any worker touches the
+/// journal, holds it across worker crashes and restarts (the lease
+/// belongs to the *supervisor*, which survives them), and releases it
+/// when the batch completes. A second resume attempt against the same
+/// directory — a concurrent job, or another service instance — sees
+/// [`LeaseError::Held`] instead of double-appending to the journal.
+///
+/// A lease whose recorded pid is dead is an **orphan** (its supervisor
+/// was itself killed) and is reclaimed in place: stolen with a warning
+/// and a `checkpoint.lease.steal` counter tick, never a refusal —
+/// crash recovery must not be blocked by the crash's own debris.
+#[derive(Debug)]
+pub struct Lease {
+    path: PathBuf,
+    released: bool,
+}
+
+impl Lease {
+    /// Acquire the lease on `dir` for the run identified by
+    /// `fingerprint`. Re-acquiring a lease this process already holds
+    /// succeeds (idempotent); a dead holder is reclaimed; a live holder
+    /// is an error.
+    pub fn acquire(dir: &Path, fingerprint: u64) -> Result<Lease, LeaseError> {
+        std::fs::create_dir_all(dir).map_err(LeaseError::Io)?;
+        let path = dir.join(LEASE_FILE);
+        let me = std::process::id();
+        if let Ok(data) = std::fs::read_to_string(&path) {
+            if let Ok(prev) = serde_json::from_str::<LeaseRecord>(&data) {
+                if prev.pid != me && pid_alive(prev.pid) {
+                    return Err(LeaseError::Held { pid: prev.pid });
+                }
+                if prev.pid != me {
+                    zenesis_obs::counter("checkpoint.lease.steal").inc();
+                    zenesis_obs::events::warn(format!(
+                        "reclaiming orphaned checkpoint lease in {} \
+                         (holder {} is dead, fingerprint {})",
+                        dir.display(),
+                        prev.pid,
+                        if prev.fingerprint == fingerprint {
+                            "matches".to_string()
+                        } else {
+                            format!("differs: {:#x}", prev.fingerprint)
+                        }
+                    ));
+                }
+            }
+            // An unparsable lease file is torn debris; overwrite it.
+        }
+        let rec = serde_json::to_string(&LeaseRecord {
+            fingerprint,
+            pid: me,
+        })
+        .expect("lease records serialize");
+        // Atomic replace: a crash mid-write can never leave a lease file
+        // that parses to someone else's claim.
+        let tmp = dir.join(format!("{LEASE_FILE}.tmp.{me}"));
+        std::fs::write(&tmp, rec).map_err(LeaseError::Io)?;
+        std::fs::rename(&tmp, &path).map_err(LeaseError::Io)?;
+        Ok(Lease {
+            path,
+            released: false,
+        })
+    }
+
+    /// Release the lease now, reporting any unlink failure (Drop
+    /// releases best-effort and silently).
+    pub fn release(mut self) -> io::Result<()> {
+        self.released = true;
+        match std::fs::remove_file(&self.path) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        if !self.released {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -638,6 +812,90 @@ mod tests {
         assert_ne!(h1.fingerprint, h2.fingerprint);
         let back = Journal::open(&dir, &h2, true).unwrap();
         assert!(back.replay.slices.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn discover_reads_the_header_without_appending() {
+        let dir = tmp_dir("discover");
+        assert!(discover(&dir).is_none(), "no journal yet");
+        assert_eq!(journal_len(&dir), 0);
+        let header = Header::new(4, 33, 17, "needles", "cfg");
+        let opened = Journal::open(&dir, &header, true).unwrap();
+        opened.journal.record_slice(0, &SliceOutcome::Ok, &[], &mask(0));
+        drop(opened);
+        let found = discover(&dir).expect("journal has a header");
+        assert_eq!(found, header);
+        assert!(journal_len(&dir) > 0);
+        // Discovery replays nothing and appends nothing: a second open
+        // still sees exactly one slice.
+        let back = Journal::open(&dir, &header, true).unwrap();
+        assert_eq!(back.replay.slices.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lease_excludes_live_holders_and_reclaims_dead_ones() {
+        let dir = tmp_dir("lease");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Fresh acquire, idempotent re-acquire by the same process.
+        let a = Lease::acquire(&dir, 7).expect("fresh acquire");
+        let b = Lease::acquire(&dir, 7).expect("same-process re-acquire");
+        drop(b);
+        // Write a lease held by a live foreign process (pid 1 is always
+        // alive on Linux): acquire must refuse.
+        let path = dir.join(LEASE_FILE);
+        std::fs::write(&path, r#"{"fingerprint":7,"pid":1}"#).unwrap();
+        match Lease::acquire(&dir, 7) {
+            Err(LeaseError::Held { pid: 1 }) => {}
+            other => panic!("expected Held by pid 1, got {other:?}"),
+        }
+        // A dead holder (no such pid) is an orphan: stolen, not refused.
+        std::fs::write(&path, r#"{"fingerprint":9,"pid":4294967294}"#).unwrap();
+        let stolen = Lease::acquire(&dir, 7).expect("orphan lease reclaimed");
+        stolen.release().unwrap();
+        assert!(!path.exists(), "release removes the lease file");
+        // Torn lease debris is overwritten, not fatal.
+        std::fs::write(&path, "{not json").unwrap();
+        let c = Lease::acquire(&dir, 7).expect("torn lease overwritten");
+        drop(c);
+        assert!(!path.exists(), "drop releases too");
+        drop(a);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_reports_the_byte_offset() {
+        let dir = tmp_dir("truncoffset");
+        let header = Header::new(3, 33, 17, "p", "c");
+        let opened = Journal::open(&dir, &header, true).unwrap();
+        opened.journal.record_slice(0, &SliceOutcome::Ok, &[], &mask(0));
+        drop(opened);
+        let path = dir.join(JOURNAL_FILE);
+        let data = std::fs::read(&path).unwrap();
+        let valid = data.len();
+        let mut torn = data.clone();
+        torn.extend_from_slice(&data[..40]); // torn duplicate tail, no newline
+        std::fs::write(&path, &torn).unwrap();
+
+        zenesis_obs::set_level(zenesis_obs::ObsLevel::Full);
+        zenesis_obs::reset();
+        let back = Journal::open(&dir, &header, true).unwrap();
+        assert_eq!(back.replay.slices.len(), 1);
+        drop(back);
+        let events = zenesis_obs::events::events_snapshot();
+        let warned = events.iter().any(|e| {
+            e.event.kind() == "warn"
+                && format!("{:?}", e.event).contains(&format!("truncated at byte {valid}"))
+        });
+        assert!(warned, "no truncation warn with the byte offset: {events:?}");
+        let corrupt = events.iter().find_map(|e| match &e.event {
+            zenesis_obs::events::Event::CheckpointCorruptTail { offset, .. } => Some(*offset),
+            _ => None,
+        });
+        assert_eq!(corrupt, Some(valid as u64));
+        zenesis_obs::set_level(zenesis_obs::ObsLevel::Off);
+        zenesis_obs::reset();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -204,6 +204,12 @@ impl Zenesis {
             if let Some(j) = &journal {
                 j.record_slice(z, &one.outcome, &one.detections, &one.combined);
             }
+            // Same post-journal death sites as the in-memory path: the
+            // slice is durable, so a kill/hang here is recoverable.
+            zenesis_fault::with_unit(z as u64, || {
+                let _ = zenesis_fault::trip("worker.kill");
+                let _ = zenesis_fault::trip("worker.hang");
+            });
             progress.tick();
             if let Some(t0) = t0 {
                 zenesis_obs::events::emit(zenesis_obs::events::Event::SliceDone {

@@ -383,6 +383,14 @@ impl Zenesis {
                 if let Some(j) = &journal {
                     j.record_slice(z, &outcome, &r.detections, &r.combined);
                 }
+                // Post-journal death sites: the slice is already durable,
+                // so a kill/hang here costs at most this worker's life —
+                // the restarted worker replays it and trips nothing,
+                // guaranteeing forward progress per worker generation.
+                zenesis_fault::with_unit(z as u64, || {
+                    let _ = zenesis_fault::trip("worker.kill");
+                    let _ = zenesis_fault::trip("worker.hang");
+                });
                 progress.tick();
                 if let Some(t0) = t0 {
                     zenesis_obs::events::emit(zenesis_obs::events::Event::SliceDone {
@@ -544,6 +552,10 @@ impl Zenesis {
     ) -> Option<(SliceResult, SliceOutcome)> {
         zenesis_fault::with_unit(z as u64, || {
             let _ = zenesis_fault::trip("slice.slow"); // latency-only site
+            // Pre-compute death site: fires before the slice is journaled,
+            // so a restarted worker hits the same slice and dies again —
+            // the deterministic crash loop the poison breaker exists for.
+            let _ = zenesis_fault::trip("worker.kill.pre");
             let mut reason = String::new();
             for attempt in 0..2 {
                 match catch_unwind(AssertUnwindSafe(|| self.try_segment_slice(raw, prompt))) {

@@ -259,6 +259,83 @@ fn journal_for_a_different_prompt_is_ignored() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Child half of the real-SIGKILL test below: re-exec'd by the parent
+/// (as `<test-bin> sigkill_child_writer --exact --ignored`), it runs a
+/// checkpointed volume until the parent kills it mid-append. `#[ignore]`
+/// keeps it out of normal suite runs; without the env var it is a no-op.
+#[test]
+#[ignore]
+fn sigkill_child_writer() {
+    let Some(dir) = std::env::var_os("ZENESIS_CKPT_CHILD_DIR") else {
+        return;
+    };
+    let v = volume(24);
+    let spec = CheckpointSpec::new(std::path::Path::new(&dir));
+    let _ = pipeline().segment_volume_resumable(&v.volume, PROMPT, &CancelToken::new(), Some(&spec));
+}
+
+#[test]
+fn sigkill_mid_append_resumes_bit_identically() {
+    let _g = lock();
+    let dir = std::env::temp_dir().join(format!("zenesis-sigkill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let v = volume(24);
+    let z = pipeline();
+    let reference = z.segment_volume(&v.volume, PROMPT);
+
+    // A *real* writer process, killed with an uncatchable SIGKILL while
+    // it is appending records — not a simulated tear. The child is this
+    // very test binary re-executed at its ignored companion test.
+    let exe = std::env::current_exe().unwrap();
+    let mut child = std::process::Command::new(exe)
+        .args(["sigkill_child_writer", "--exact", "--ignored", "--nocapture"])
+        .env("ZENESIS_CKPT_CHILD_DIR", &dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("re-exec test binary");
+    let journal = dir.join(zenesis_core::checkpoint::JOURNAL_FILE);
+    let t0 = std::time::Instant::now();
+    loop {
+        let lines = std::fs::read_to_string(&journal)
+            .map(|t| t.lines().count())
+            .unwrap_or(0);
+        // Header plus at least three slice records: mid-volume.
+        if lines >= 4 || child.try_wait().unwrap().is_some() {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(120),
+            "child never reached the kill window"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    child.kill().ok();
+    child.wait().unwrap();
+
+    // Whatever instant the signal landed at, guarantee the journal ends
+    // in a torn in-progress append so recovery must truncate.
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&journal).unwrap();
+        f.write_all(br#"{"z": 99, "crc": "#).unwrap();
+    }
+
+    let truncated_before = zenesis_obs::counter("checkpoint.truncated").get();
+    let spec = CheckpointSpec::new(&dir);
+    let resumed = z
+        .segment_volume_resumable(&v.volume, PROMPT, &CancelToken::new(), Some(&spec))
+        .expect("resume after SIGKILL completes");
+    assert_eq!(resumed.masks, reference.masks, "resume must be bit-identical");
+    assert_eq!(resumed.outcomes, reference.outcomes);
+    assert!(
+        zenesis_obs::counter("checkpoint.truncated").get() > truncated_before,
+        "the torn tail must be counted, not silently dropped"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn dropped_checkpoint_writes_never_fail_the_run() {
     let _g = lock();

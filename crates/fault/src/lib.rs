@@ -14,6 +14,11 @@
 //!   ([`Injection::Nan`]), exercising the NaN/Inf boundary guards.
 //! * **slow** — [`trip`] sleeps for the configured latency and returns
 //!   `None`; the work still succeeds, just late (deadline testing).
+//! * **kill** — [`trip`] aborts the whole process (`std::process::abort`,
+//!   untrappable by `catch_unwind`), standing in for SIGKILL/OOM/segfault
+//!   in process-supervision chaos runs.
+//! * **hang** — [`trip`] parks effectively forever, exercising
+//!   heartbeat-based liveness detection in the supervisor.
 //!
 //! ## Arming
 //!
@@ -54,7 +59,8 @@
 //!
 //! The canonical site names wired through the pipeline are documented in
 //! `docs/ROBUSTNESS.md`: `adapt.denoise`, `ground.dino`, `sam.decode`,
-//! `io.write`, `io.tiff`, `slice.slow`.
+//! `io.write`, `io.tiff`, `slice.slow`, `worker.kill`, `worker.kill.pre`,
+//! `worker.hang`.
 
 #![warn(missing_docs)]
 
@@ -76,6 +82,13 @@ pub enum FaultKind {
     Nan,
     /// The site sleeps this many milliseconds, then succeeds.
     Slow(u64),
+    /// The site aborts the process: `std::process::abort()` raises
+    /// SIGABRT, which `catch_unwind` cannot intercept — the closest
+    /// portable, dependency-free stand-in for SIGKILL/OOM/segfault.
+    Kill,
+    /// The site parks the calling thread effectively forever (a worker
+    /// that stops making progress without dying).
+    Hang,
 }
 
 impl FaultKind {
@@ -86,6 +99,8 @@ impl FaultKind {
             FaultKind::Panic => "panic",
             FaultKind::Nan => "nan",
             FaultKind::Slow(_) => "slow",
+            FaultKind::Kill => "kill",
+            FaultKind::Hang => "hang",
         }
     }
 }
@@ -149,7 +164,8 @@ impl FaultPlan {
 
     /// Parse the `ZENESIS_FAULT` syntax:
     /// `site:kind:prob:seed[,site:kind:prob:seed...]` where `kind` is
-    /// `error` | `panic` | `nan` | `slow[MS]` (default 100 ms).
+    /// `error` | `panic` | `nan` | `slow[MS]` (default 100 ms) |
+    /// `kill` | `hang`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::new();
         for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
@@ -163,6 +179,8 @@ impl FaultPlan {
                 "error" => FaultKind::Error,
                 "panic" => FaultKind::Panic,
                 "nan" => FaultKind::Nan,
+                "kill" => FaultKind::Kill,
+                "hang" => FaultKind::Hang,
                 k if k.starts_with("slow") => {
                     let ms = &k["slow".len()..];
                     if ms.is_empty() {
@@ -323,9 +341,10 @@ fn decide(site: &Site, name: &str, index: u64) -> bool {
 /// Disarmed (the overwhelmingly common case): one relaxed atomic load,
 /// returns `None`. Armed: decides deterministically from the site seed
 /// and unit index; a firing `panic` site panics here, a `slow` site
-/// sleeps here, and `error` / `nan` return an [`Injection`] for the
-/// caller to apply. Every firing is recorded as a `fault.injected` event
-/// and counted in the `fault.injected` counter.
+/// sleeps here, a `kill` site aborts the process, a `hang` site parks
+/// forever, and `error` / `nan` return an [`Injection`] for the caller
+/// to apply. Every firing is recorded as a `fault.injected` event and
+/// counted in the `fault.injected` counter.
 pub fn trip(site_name: &str) -> Option<Injection> {
     if !armed() {
         return None;
@@ -354,6 +373,18 @@ pub fn trip(site_name: &str) -> Option<Injection> {
             std::thread::sleep(std::time::Duration::from_millis(ms));
             None
         }
+        FaultKind::Kill => {
+            // SIGABRT: skips destructors, unwinding, and atexit hooks —
+            // the process dies here, exactly like an OOM kill would.
+            eprintln!("injected worker kill at {site_name} (unit {index})");
+            std::process::abort();
+        }
+        FaultKind::Hang => {
+            eprintln!("injected worker hang at {site_name} (unit {index})");
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
     }
 }
 
@@ -381,6 +412,9 @@ mod tests {
         assert_eq!(p.sites["slice.slow"].kind, FaultKind::Slow(250));
         let p = FaultPlan::parse("io.write:slow:0.5:3").unwrap();
         assert_eq!(p.sites["io.write"].kind, FaultKind::Slow(100));
+        let p = FaultPlan::parse("worker.kill:kill:1.0:2,worker.hang:hang:0.5:3").unwrap();
+        assert_eq!(p.sites["worker.kill"].kind, FaultKind::Kill);
+        assert_eq!(p.sites["worker.hang"].kind, FaultKind::Hang);
         assert!(FaultPlan::parse("bad").is_err());
         assert!(FaultPlan::parse("a:explode:0.1:1").is_err());
         assert!(FaultPlan::parse("a:error:1.5:1").is_err());

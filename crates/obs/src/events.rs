@@ -200,8 +200,57 @@ pub enum Event {
     CheckpointCorruptTail {
         /// Valid records kept before the corrupt tail.
         kept: usize,
+        /// Byte offset the journal was truncated back to (= the length
+        /// of the valid prefix; everything past it was dropped).
+        offset: u64,
         /// Why the tail record was rejected.
         reason: String,
+    },
+    /// The warden spawned a worker process for a supervised job.
+    WardenSpawn {
+        /// Serving-layer job id.
+        id: u64,
+        /// The worker's OS pid.
+        pid: u32,
+        /// Worker attempt for this job (1 = first spawn).
+        attempt: u32,
+    },
+    /// A supervised worker process died without delivering a result.
+    WardenCrash {
+        /// Serving-layer job id.
+        id: u64,
+        /// The dead worker's OS pid.
+        pid: u32,
+        /// How death was detected (`exit` | `heartbeat` | `stall`),
+        /// plus detail.
+        reason: String,
+    },
+    /// The warden is restarting a crashed worker after backoff.
+    WardenRestart {
+        /// Serving-layer job id.
+        id: u64,
+        /// Worker attempt about to be spawned (2 = first restart).
+        attempt: u32,
+        /// Backoff delay slept before this restart, milliseconds.
+        delay_ms: u64,
+    },
+    /// A restarted worker is resuming the batch from the checkpoint
+    /// journal left by its dead predecessor.
+    WardenResume {
+        /// Serving-layer job id.
+        id: u64,
+        /// Journal bytes surviving from the dead worker.
+        journal_bytes: u64,
+    },
+    /// The poison breaker quarantined a job spec: N consecutive workers
+    /// crashed on it without journal progress.
+    WardenPoison {
+        /// Serving-layer job id.
+        id: u64,
+        /// Spec fingerprint (hex) now quarantined.
+        fingerprint: String,
+        /// Consecutive progress-free crashes that tripped the breaker.
+        crashes: u32,
     },
     /// A warning worth surfacing in the event stream.
     Warn {
@@ -240,6 +289,11 @@ impl Event {
             Event::CheckpointWrite { .. } => "checkpoint.write",
             Event::CheckpointReplay { .. } => "checkpoint.replay",
             Event::CheckpointCorruptTail { .. } => "checkpoint.corrupt_tail",
+            Event::WardenSpawn { .. } => "warden.spawn",
+            Event::WardenCrash { .. } => "warden.crash",
+            Event::WardenRestart { .. } => "warden.restart",
+            Event::WardenResume { .. } => "warden.resume",
+            Event::WardenPoison { .. } => "warden.poison",
             Event::Warn { .. } => "warn",
             Event::Info { .. } => "info",
         }
@@ -479,9 +533,50 @@ pub fn event_json(rec: &EventRecord) -> Value {
             field(&mut m, "slices", Value::Number(Number::U(*slices as u64)));
             field(&mut m, "masks", Value::Number(Number::U(*masks as u64)));
         }
-        Event::CheckpointCorruptTail { kept, reason } => {
+        Event::CheckpointCorruptTail {
+            kept,
+            offset,
+            reason,
+        } => {
             field(&mut m, "kept", Value::Number(Number::U(*kept as u64)));
+            field(&mut m, "offset", Value::Number(Number::U(*offset)));
             field(&mut m, "reason", Value::String(reason.clone()));
+        }
+        Event::WardenSpawn { id, pid, attempt } => {
+            field(&mut m, "id", Value::Number(Number::U(*id)));
+            field(&mut m, "pid", Value::Number(Number::U(*pid as u64)));
+            field(&mut m, "attempt", Value::Number(Number::U(*attempt as u64)));
+        }
+        Event::WardenCrash { id, pid, reason } => {
+            field(&mut m, "id", Value::Number(Number::U(*id)));
+            field(&mut m, "pid", Value::Number(Number::U(*pid as u64)));
+            field(&mut m, "reason", Value::String(reason.clone()));
+        }
+        Event::WardenRestart {
+            id,
+            attempt,
+            delay_ms,
+        } => {
+            field(&mut m, "id", Value::Number(Number::U(*id)));
+            field(&mut m, "attempt", Value::Number(Number::U(*attempt as u64)));
+            field(&mut m, "delay_ms", Value::Number(Number::U(*delay_ms)));
+        }
+        Event::WardenResume { id, journal_bytes } => {
+            field(&mut m, "id", Value::Number(Number::U(*id)));
+            field(
+                &mut m,
+                "journal_bytes",
+                Value::Number(Number::U(*journal_bytes)),
+            );
+        }
+        Event::WardenPoison {
+            id,
+            fingerprint,
+            crashes,
+        } => {
+            field(&mut m, "id", Value::Number(Number::U(*id)));
+            field(&mut m, "fingerprint", Value::String(fingerprint.clone()));
+            field(&mut m, "crashes", Value::Number(Number::U(*crashes as u64)));
         }
         Event::Warn { message } | Event::Info { message } => {
             field(&mut m, "message", Value::String(message.clone()));
@@ -649,6 +744,70 @@ mod tests {
             Event::JobRetry { id: 1, attempt: 1, delay_ms: 50 }.kind(),
             "job.retry"
         );
+        assert_eq!(
+            Event::WardenSpawn { id: 1, pid: 2, attempt: 1 }.kind(),
+            "warden.spawn"
+        );
+        assert_eq!(
+            Event::WardenCrash { id: 1, pid: 2, reason: "exit".into() }.kind(),
+            "warden.crash"
+        );
+        assert_eq!(
+            Event::WardenRestart { id: 1, attempt: 2, delay_ms: 50 }.kind(),
+            "warden.restart"
+        );
+        assert_eq!(
+            Event::WardenResume { id: 1, journal_bytes: 512 }.kind(),
+            "warden.resume"
+        );
+        assert_eq!(
+            Event::WardenPoison { id: 1, fingerprint: "abc".into(), crashes: 3 }.kind(),
+            "warden.poison"
+        );
+    }
+
+    #[test]
+    fn warden_and_checkpoint_events_serialize_payload_fields() {
+        let _g = LOCK.lock();
+        let before = crate::level();
+        crate::set_level(ObsLevel::Spans);
+        reset_events();
+        emit(Event::CheckpointCorruptTail {
+            kept: 4,
+            offset: 1234,
+            reason: "truncated final record".into(),
+        });
+        emit(Event::WardenSpawn { id: 7, pid: 4242, attempt: 1 });
+        emit(Event::WardenCrash { id: 7, pid: 4242, reason: "exit: signal".into() });
+        emit(Event::WardenRestart { id: 7, attempt: 2, delay_ms: 100 });
+        emit(Event::WardenResume { id: 7, journal_bytes: 9000 });
+        emit(Event::WardenPoison {
+            id: 8,
+            fingerprint: "deadbeef".into(),
+            crashes: 3,
+        });
+        let lines: Vec<serde_json::Value> = events_jsonl()
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 6);
+        assert_eq!(lines[0]["event"], "checkpoint.corrupt_tail");
+        assert_eq!(lines[0]["kept"], 4);
+        assert_eq!(lines[0]["offset"], 1234);
+        assert_eq!(lines[1]["event"], "warden.spawn");
+        assert_eq!(lines[1]["pid"], 4242);
+        assert_eq!(lines[1]["attempt"], 1);
+        assert_eq!(lines[2]["event"], "warden.crash");
+        assert_eq!(lines[2]["reason"], "exit: signal");
+        assert_eq!(lines[3]["event"], "warden.restart");
+        assert_eq!(lines[3]["delay_ms"], 100);
+        assert_eq!(lines[4]["event"], "warden.resume");
+        assert_eq!(lines[4]["journal_bytes"], 9000);
+        assert_eq!(lines[5]["event"], "warden.poison");
+        assert_eq!(lines[5]["fingerprint"], "deadbeef");
+        assert_eq!(lines[5]["crashes"], 3);
+        reset_events();
+        crate::set_level(before);
     }
 
     #[test]

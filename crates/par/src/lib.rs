@@ -36,7 +36,7 @@ pub use cancel::CancelToken;
 pub use config::{available_parallelism, current_threads, set_threads, ThreadsGuard};
 pub use join::join;
 pub use pool::ThreadPool;
-pub use progress::Progress;
+pub use progress::{progress_pulse, Progress};
 pub use scope::{
     chunk_len, in_worker, par_for_each, par_for_each_indexed, par_map, par_map_range,
     par_reduce_range, par_rows, par_rows2_min, par_rows_min, small_work_threshold,

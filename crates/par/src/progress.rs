@@ -17,8 +17,20 @@
 //! [`remaining`]: Progress::remaining
 //! [`eta_secs`]: Progress::eta_secs
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Process-global liveness pulse: bumped on every [`Progress::tick`],
+/// regardless of which `Progress` instance ticked. A supervisor
+/// heartbeat thread samples it to distinguish "worker is slow" from
+/// "worker stopped making progress" without any wiring into the job.
+static PULSE: AtomicU64 = AtomicU64::new(0);
+
+/// Current value of the global progress pulse (monotonic within a
+/// process; the absolute value is meaningless — only change matters).
+pub fn progress_pulse() -> u64 {
+    PULSE.load(Ordering::Relaxed)
+}
 
 /// Shared work-completion counter with a known total, a monotonic start
 /// time, and derived rate/ETA.
@@ -44,6 +56,7 @@ impl Progress {
     /// is published through this counter.
     pub fn add(&self, n: usize) {
         self.done.fetch_add(n, Ordering::Relaxed);
+        PULSE.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one completed unit.
@@ -188,6 +201,15 @@ mod tests {
         // same order as the elapsed time (loose bounds; CI machines lag).
         assert!(eta < 60.0, "eta {eta} implausibly large");
         assert!(p.elapsed_secs() > 0.0);
+    }
+
+    #[test]
+    fn ticks_advance_the_global_pulse() {
+        let before = progress_pulse();
+        let p = Progress::new(3);
+        p.tick();
+        p.add(2);
+        assert!(progress_pulse() >= before + 2, "pulse must move with ticks");
     }
 
     #[test]

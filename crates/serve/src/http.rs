@@ -173,21 +173,37 @@ fn readiness_failures(server: &Server, probe_dir: Option<&str>) -> Vec<String> {
     if server.workers_alive() == 0 {
         reasons.push("no worker threads alive".to_string());
     }
+    if let Some(n) = server.warden_recovering() {
+        if n > 0 {
+            reasons.push(format!("worker crash recovery in progress ({n} jobs)"));
+        }
+    }
     if let Some((open, cap)) = server.mux_connections() {
         if open >= cap {
             reasons.push(format!("connection cap saturated ({open}/{cap})"));
         }
     }
     if let Some(dir) = probe_dir {
-        let probe = std::path::Path::new(dir).join(format!(".readyz-probe-{}", std::process::id()));
-        match std::fs::write(&probe, b"probe") {
-            Ok(()) => {
-                let _ = std::fs::remove_file(&probe);
-            }
-            Err(e) => reasons.push(format!("flight/checkpoint dir {dir} not writable: {e}")),
+        if let Err(e) = probe_writable(dir) {
+            reasons.push(format!("flight/checkpoint dir {dir} not writable: {e}"));
         }
     }
     reasons
+}
+
+/// Verify `dir` is writable by renewing one stable probe file: write
+/// `.readyz-probe-<pid>.tmp`, then atomically rename it over
+/// `.readyz-probe-<pid>`. Earlier versions created and deleted a fresh
+/// temp file on every poll, which churned directory entries and could
+/// race its own create/unlink cycle under overlapping probes; reusing a
+/// single probe path with an atomic rename leaves exactly one probe
+/// file per process, never observable half-written.
+fn probe_writable(dir: &str) -> io::Result<()> {
+    let dir = std::path::Path::new(dir);
+    let pid = std::process::id();
+    let tmp = dir.join(format!(".readyz-probe-{pid}.tmp"));
+    std::fs::write(&tmp, b"probe")?;
+    std::fs::rename(&tmp, dir.join(format!(".readyz-probe-{pid}")))
 }
 
 fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
@@ -261,6 +277,9 @@ mod tests {
                 max_retries: 0,
                 retry_base_ms: 1,
                 flight_dir: None,
+                process_workers: false,
+                heartbeat_ms: 1000,
+                worker_exe: None,
             },
             runner,
         ))
@@ -357,6 +376,64 @@ mod tests {
         assert!(status.contains("200"), "{status}");
         assert_eq!(body, "ok\n");
         drop(stalled);
+    }
+
+    #[test]
+    fn probe_reuses_one_stable_path_per_process() {
+        let dir = std::env::temp_dir().join(format!("zenesis-probe-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_str = dir.to_string_lossy().into_owned();
+        // Repeated polls succeed and leave exactly one probe file — the
+        // stable per-pid path — with no temp debris.
+        for _ in 0..3 {
+            probe_writable(&dir_str).unwrap();
+        }
+        let entries: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(
+            entries,
+            vec![format!(".readyz-probe-{}", std::process::id())],
+            "one reusable probe file, no leftover temp files"
+        );
+        // A missing directory is a clean error, not a panic.
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(probe_writable(&dir_str).is_err());
+    }
+
+    #[test]
+    fn readyz_reports_worker_crash_recovery() {
+        let runner: JobRunner =
+            Arc::new(|_: &JobSpec, _: &zenesis_par::CancelToken| JobResult::Error {
+                message: "unused".into(),
+            });
+        let server = Arc::new(Server::start_with_runner(
+            ServeConfig {
+                workers: 1,
+                queue_cap: 2,
+                tenant_cap: 0,
+                default_deadline_ms: None,
+                max_retries: 0,
+                retry_base_ms: 1,
+                flight_dir: None,
+                process_workers: true,
+                heartbeat_ms: 1000,
+                // Never spawned in this test; any path will do.
+                worker_exe: Some("/bin/false".into()),
+            },
+            runner,
+        ));
+        assert!(readiness_failures(&server, None).is_empty());
+        server.warden().unwrap().test_set_recovering(2);
+        let reasons = readiness_failures(&server, None);
+        assert_eq!(reasons.len(), 1, "{reasons:?}");
+        assert!(
+            reasons[0].contains("worker crash recovery in progress (2 jobs)"),
+            "{reasons:?}"
+        );
+        server.warden().unwrap().test_set_recovering(0);
+        assert!(readiness_failures(&server, None).is_empty());
     }
 
     #[test]

@@ -18,7 +18,13 @@
 //!   worker pool;
 //! * **retry with exponential backoff** for transient file-input
 //!   failures;
-//! * **graceful shutdown** that drains accepted jobs before exiting.
+//! * **graceful shutdown** that drains accepted jobs before exiting;
+//! * **process-isolated batch workers** (`--process-workers`): the
+//!   [`warden`] supervisor runs each volume job in a child worker
+//!   process with a heartbeat channel, restarts crashed workers from
+//!   the checkpoint journal (bit-identical resume), and quarantines
+//!   poison jobs — a SIGKILL/OOM/abort costs one worker generation,
+//!   never the service or the batch (see `docs/ROBUSTNESS.md`).
 //!
 //! The telemetry plane rides alongside: every request carries a trace
 //! id (caller-supplied or minted at admission) that tags all spans and
@@ -40,6 +46,8 @@ pub mod mux;
 pub mod proto;
 pub mod queue;
 pub mod server;
+pub mod warden;
+pub mod worker;
 
 pub use admission::Admission;
 pub use http::start_metrics_http;
@@ -48,3 +56,5 @@ pub use mux::{Mux, MuxConfig};
 pub use proto::{parse_request, Request, Response};
 pub use queue::{BoundedQueue, Lane, PushError, QueueDepths};
 pub use server::{JobRunner, ResponseSink, ServeConfig, Server};
+pub use warden::Warden;
+pub use worker::worker_main;

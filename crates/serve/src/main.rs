@@ -6,6 +6,7 @@
 //! ```text
 //! zenesis-serve [--workers N] [--queue-cap N] [--tenant-cap N]
 //!               [--deadline-ms MS] [--max-retries N] [--retry-base-ms MS]
+//!               [--process-workers] [--heartbeat-ms MS]
 //!               [--tcp ADDR] [--max-conns N]
 //!               [--events-out F] [--ledger-out F]
 //!               [--label NAME] [--metrics-addr ADDR]
@@ -89,8 +90,25 @@ impl ObsSinks {
     }
 }
 
+/// Remove a bare `--flag` from `args`, reporting whether it was there.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden child entry: the warden re-executes this binary with
+    // `--worker` first to run one supervised job handed over on stdin
+    // (see zenesis_serve::worker). Dispatched before any flag parsing —
+    // a worker child must never bind listeners or read normal flags.
+    if args.first().map(String::as_str) == Some("--worker") {
+        std::process::exit(zenesis_serve::worker_main());
+    }
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "zenesis-serve: JSONL job service (stdin/stdout pipe, or --tcp ADDR)\n\
@@ -102,6 +120,8 @@ fn main() {
              \x20 --deadline-ms MS   default per-job deadline (default: none)\n\
              \x20 --max-retries N    transient-input retries (default 2)\n\
              \x20 --retry-base-ms MS first backoff, doubles per attempt (default 25)\n\
+             \x20 --process-workers  run batch volume jobs in supervised child processes\n\
+             \x20 --heartbeat-ms MS  process-worker supervision window (default 30000)\n\
              \x20 --tcp ADDR         serve a TCP listener instead of stdin/stdout\n\
              \x20 --max-conns N      TCP connection cap for the mux (default 1024)\n\
              \x20 --events-out F     write the job.* event stream as JSONL at exit\n\
@@ -160,6 +180,10 @@ fn main() {
         config.retry_base_ms = n;
     }
     config.flight_dir = flight_dir;
+    config.process_workers = take_flag(&mut args, "--process-workers");
+    if let Some(n) = parse_num("--heartbeat-ms", take_flag_value(&mut args, "--heartbeat-ms")) {
+        config.heartbeat_ms = n;
+    }
     let tcp = take_flag_value(&mut args, "--tcp");
     let max_conns: Option<usize> = parse_num("--max-conns", take_flag_value(&mut args, "--max-conns"));
     if let Some(stray) = args.first() {

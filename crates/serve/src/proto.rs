@@ -149,6 +149,12 @@ pub struct Response {
     pub queue_ms: f64,
     /// Milliseconds of worker execution (all attempts and backoff).
     pub run_ms: f64,
+    /// Retry hint for `busy`/`timeout` responses: how long the client
+    /// should wait before resubmitting, derived from the server's
+    /// current queue depth and backoff state. Absent (`None`) on
+    /// terminal statuses and on sheds where retrying is pointless
+    /// (e.g. shutdown).
+    pub retry_after_ms: Option<u64>,
     /// The job's structured result.
     pub result: JobResult,
 }
@@ -175,6 +181,9 @@ impl Response {
         m.insert("attempts", Value::Number(Number::U(self.attempts as u64)));
         m.insert("queue_ms", Value::Number(Number::F(self.queue_ms)));
         m.insert("run_ms", Value::Number(Number::F(self.run_ms)));
+        if let Some(ms) = self.retry_after_ms {
+            m.insert("retry_after_ms", Value::Number(Number::U(ms)));
+        }
         let result_json = serde_json::to_string(&self.result).expect("results serialize");
         let result_value: Value =
             serde_json::from_str(&result_json).expect("results round-trip");
@@ -358,6 +367,7 @@ mod tests {
             attempts: 1,
             queue_ms: 0.5,
             run_ms: 12.0,
+            retry_after_ms: None,
             result: JobResult::Error {
                 message: "nope".into(),
             },
@@ -367,6 +377,10 @@ mod tests {
         let v: Value = serde_json::from_str(&line).unwrap();
         assert_eq!(v.get("id").and_then(|x| x.as_u64()), Some(3));
         assert_eq!(v.get("status").and_then(|x| x.as_str()), Some("error"));
+        assert!(
+            v.get("retry_after_ms").is_none(),
+            "no hint field on responses without one"
+        );
         assert_eq!(
             v.get("trace_id").and_then(|x| x.as_str()),
             Some("000000000000feed")
@@ -380,6 +394,25 @@ mod tests {
     }
 
     #[test]
+    fn retry_hint_serializes_only_when_present() {
+        let resp = Response {
+            id: 8,
+            trace: TraceId::from_u64(1).unwrap(),
+            attempts: 0,
+            queue_ms: 0.1,
+            run_ms: 0.0,
+            retry_after_ms: Some(250),
+            result: JobResult::Busy {
+                message: "queue full".into(),
+                capacity: 4,
+            },
+        };
+        let v: Value = serde_json::from_str(&resp.to_json_line()).unwrap();
+        assert_eq!(v.get("status").and_then(|x| x.as_str()), Some("busy"));
+        assert_eq!(v.get("retry_after_ms").and_then(|x| x.as_u64()), Some(250));
+    }
+
+    #[test]
     fn status_taxonomy_covers_all_variants() {
         let mk = |result| Response {
             id: 0,
@@ -387,6 +420,7 @@ mod tests {
             attempts: 0,
             queue_ms: 0.0,
             run_ms: 0.0,
+            retry_after_ms: None,
             result,
         };
         assert_eq!(

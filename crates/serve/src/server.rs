@@ -51,6 +51,7 @@ use zenesis_par::CancelToken;
 use crate::admission::Admission;
 use crate::proto::{parse_request, Response};
 use crate::queue::{BoundedQueue, Lane, PushError, QueueDepths};
+use crate::warden::{self, Warden};
 
 /// Largest exponent applied to `retry_base_ms`; caps the shift so a
 /// large `--max-retries` cannot overflow the `u64` backoff arithmetic
@@ -85,6 +86,22 @@ pub struct ServeConfig {
     /// `flight-<unix-secs>-<trace>.json` whenever a job panics, abandons
     /// a volume (`TooManyFailures`), or ran with injected faults.
     pub flight_dir: Option<String>,
+    /// Run batch volume jobs in supervised child worker processes
+    /// ([`crate::warden`]) instead of on the worker thread itself, so a
+    /// hard worker death (SIGKILL, OOM, abort) costs one worker
+    /// generation instead of the service. Interactive and evaluate jobs
+    /// always run in-process.
+    pub process_workers: bool,
+    /// Supervision heartbeat window in milliseconds: a process worker
+    /// that sends no message for this long is declared dead, and one
+    /// whose progress pulse freezes for several windows is declared
+    /// stalled (see [`crate::warden`]).
+    pub heartbeat_ms: u64,
+    /// Executable spawned as the worker child (with the hidden
+    /// `--worker` argument). `None` uses the current executable — right
+    /// for the `zenesis-serve` binary, wrong for test harnesses, which
+    /// pass the built binary path explicitly.
+    pub worker_exe: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +116,9 @@ impl Default for ServeConfig {
             max_retries: 2,
             retry_base_ms: 25,
             flight_dir: None,
+            process_workers: false,
+            heartbeat_ms: 30_000,
+            worker_exe: None,
         }
     }
 }
@@ -161,6 +181,7 @@ pub struct Server {
     admission: Arc<Admission>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     mux_stats: Mutex<Option<Arc<MuxStats>>>,
+    warden: Option<Arc<Warden>>,
     config: ServeConfig,
 }
 
@@ -178,15 +199,22 @@ impl Server {
         }
         let queue = BoundedQueue::new(config.queue_cap);
         let admission = Arc::new(Admission::new(config.tenant_cap));
+        let warden = config.process_workers.then(|| {
+            Arc::new(
+                Warden::new(config.heartbeat_ms, config.worker_exe.as_deref())
+                    .expect("resolve worker executable"),
+            )
+        });
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let queue = queue.clone();
                 let runner = Arc::clone(&runner);
                 let cfg = config.clone();
                 let admission = Arc::clone(&admission);
+                let warden = warden.clone();
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, &runner, &cfg, &admission))
+                    .spawn(move || worker_loop(&queue, &runner, &cfg, &admission, warden.as_deref()))
                     .expect("spawn serve worker")
             })
             .collect();
@@ -195,6 +223,7 @@ impl Server {
             admission,
             workers: Mutex::new(workers),
             mux_stats: Mutex::new(None),
+            warden,
             config,
         }
     }
@@ -233,6 +262,19 @@ impl Server {
             .map(|s| (s.connections.load(Ordering::Relaxed), s.max_connections))
     }
 
+    /// Supervised jobs currently in crash recovery (a process worker
+    /// died and its successor has not yet resumed). `None` when process
+    /// workers are disabled. `/readyz` reports a degraded reason while
+    /// this is non-zero.
+    pub fn warden_recovering(&self) -> Option<usize> {
+        self.warden.as_ref().map(|w| w.recovering())
+    }
+
+    /// The process-worker supervisor, when `--process-workers` is on.
+    pub fn warden(&self) -> Option<&Arc<Warden>> {
+        self.warden.as_ref()
+    }
+
     /// Worker threads still running. Anything below the configured
     /// count means a worker died outside the panic isolation (a bug);
     /// the `/readyz` endpoint reports not-ready at zero.
@@ -264,6 +306,7 @@ impl Server {
                     attempts: 0,
                     queue_ms: 0.0,
                     run_ms: 0.0,
+                    retry_after_ms: None,
                     result: JobResult::Error { message },
                 });
                 return;
@@ -292,6 +335,10 @@ impl Server {
                 attempts: 0,
                 queue_ms: 0.0,
                 run_ms: 0.0,
+                retry_after_ms: Some(retry_after_hint_ms(
+                    self.config.retry_base_ms,
+                    self.queue.len(),
+                )),
                 result: JobResult::Busy {
                     message: format!(
                         "tenant {:?} quota exceeded ({} outstanding jobs); resubmit later",
@@ -347,6 +394,12 @@ impl Server {
                     attempts: 0,
                     queue_ms: 0.0,
                     run_ms: 0.0,
+                    // The queue is full, so "jobs ahead" is its whole
+                    // capacity.
+                    retry_after_ms: Some(retry_after_hint_ms(
+                        self.config.retry_base_ms,
+                        capacity,
+                    )),
                     result: JobResult::Busy {
                         message: format!("queue full ({capacity} jobs); resubmit later"),
                         capacity,
@@ -369,6 +422,9 @@ impl Server {
                     attempts: 0,
                     queue_ms: 0.0,
                     run_ms: 0.0,
+                    // No hint: retrying against a draining instance is
+                    // futile, however long the client waits.
+                    retry_after_ms: None,
                     result: JobResult::Busy {
                         message: "service shutting down; submit to another instance".to_string(),
                         capacity,
@@ -403,7 +459,7 @@ fn set_depth_gauges(depths: QueueDepths) {
 }
 
 /// Stringify a panic payload the way `std` does for uncaught panics.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -435,11 +491,25 @@ fn retry_backoff_ms(base_ms: u64, attempts: u32) -> u64 {
         .min(MAX_RETRY_BACKOFF_MS)
 }
 
+/// `retry_after_ms` hint for `busy` and `timeout` responses: scale the
+/// configured retry base by the jobs ahead of a resubmission (queue
+/// depth at response time), clamped to the same ceiling the server's
+/// own retry backoff honors. A deep queue pushes the hint out; an idle
+/// server invites a near-immediate retry. Purely advisory — the server
+/// never rejects an early resubmission on its account.
+fn retry_after_hint_ms(base_ms: u64, depth: usize) -> u64 {
+    base_ms
+        .max(1)
+        .saturating_mul(depth as u64 + 1)
+        .min(MAX_RETRY_BACKOFF_MS)
+}
+
 fn worker_loop(
     queue: &BoundedQueue<QueuedJob>,
     runner: &JobRunner,
     cfg: &ServeConfig,
     admission: &Admission,
+    warden: Option<&Warden>,
 ) {
     while let Some((job, depths)) = queue.pop() {
         // Re-install the job's trace on this worker thread: every span
@@ -472,45 +542,56 @@ fn worker_loop(
         let mut panicked = false;
         let run_started = Instant::now();
         let mut attempts = 0u32;
-        let result = loop {
-            attempts += 1;
-            match catch_unwind(AssertUnwindSafe(|| runner(&job.spec, &cancel))) {
-                Err(payload) => {
-                    let message = panic_message(payload.as_ref());
-                    panicked = true;
-                    if obs {
-                        events::emit(Event::JobPanic {
-                            id: job.id,
-                            message: message.clone(),
-                        });
-                        zenesis_obs::counter("serve.job.panic").inc();
-                    }
-                    break JobResult::Error {
-                        message: format!("job panicked: {message}"),
-                    };
-                }
-                Ok(result) => {
-                    if attempts <= cfg.max_retries
-                        && is_transient(&result)
-                        && !cancel.is_cancelled()
-                    {
-                        let delay_ms = retry_backoff_ms(cfg.retry_base_ms, attempts);
+        // Batch volume jobs go to the warden's child processes when
+        // process isolation is on (crash recovery and retry are its
+        // job); everything else runs in-process under catch_unwind.
+        let supervised = warden
+            .filter(|_| warden::eligible(&job.spec))
+            .map(|w| w.supervise(job.id, &job.spec, &cancel));
+        let result = if let Some(sup) = supervised {
+            attempts = sup.attempts;
+            sup.result
+        } else {
+            loop {
+                attempts += 1;
+                match catch_unwind(AssertUnwindSafe(|| runner(&job.spec, &cancel))) {
+                    Err(payload) => {
+                        let message = panic_message(payload.as_ref());
+                        panicked = true;
                         if obs {
-                            events::emit(Event::JobRetry {
+                            events::emit(Event::JobPanic {
                                 id: job.id,
-                                attempt: attempts,
-                                delay_ms,
+                                message: message.clone(),
                             });
-                            zenesis_obs::counter("serve.job.retry").inc();
+                            zenesis_obs::counter("serve.job.panic").inc();
                         }
-                        let mut delay = Duration::from_millis(delay_ms);
-                        if let Some(left) = cancel.remaining() {
-                            delay = delay.min(left);
-                        }
-                        std::thread::sleep(delay);
-                        continue;
+                        break JobResult::Error {
+                            message: format!("job panicked: {message}"),
+                        };
                     }
-                    break result;
+                    Ok(result) => {
+                        if attempts <= cfg.max_retries
+                            && is_transient(&result)
+                            && !cancel.is_cancelled()
+                        {
+                            let delay_ms = retry_backoff_ms(cfg.retry_base_ms, attempts);
+                            if obs {
+                                events::emit(Event::JobRetry {
+                                    id: job.id,
+                                    attempt: attempts,
+                                    delay_ms,
+                                });
+                                zenesis_obs::counter("serve.job.retry").inc();
+                            }
+                            let mut delay = Duration::from_millis(delay_ms);
+                            if let Some(left) = cancel.remaining() {
+                                delay = delay.min(left);
+                            }
+                            std::thread::sleep(delay);
+                            continue;
+                        }
+                        break result;
+                    }
                 }
             }
         };
@@ -561,12 +642,18 @@ fn worker_loop(
         // outstanding = queued + running, so a tenant cannot use a slow
         // job to overlap more work than its quota.
         admission.release(job.tenant.as_deref());
+        // Timeouts carry a retry hint sized to the backlog at response
+        // time: the client's resubmission lands behind whatever is
+        // queued right now.
+        let retry_after_ms = matches!(&result, JobResult::Timeout { .. })
+            .then(|| retry_after_hint_ms(cfg.retry_base_ms, queue.len()));
         job.reply.send(Response {
             id: job.id,
             trace: job.trace,
             attempts,
             queue_ms,
             run_ms,
+            retry_after_ms,
             result,
         });
     }
@@ -617,5 +704,18 @@ mod tests {
         }
         // A huge base saturates instead of wrapping.
         assert_eq!(retry_backoff_ms(u64::MAX, 33), MAX_RETRY_BACKOFF_MS);
+    }
+
+    #[test]
+    fn retry_hint_scales_with_depth_and_clamps() {
+        // Idle server: the hint is one base interval.
+        assert_eq!(retry_after_hint_ms(25, 0), 25);
+        // Each queued job ahead pushes the hint out by one base.
+        assert_eq!(retry_after_hint_ms(25, 3), 100);
+        // A zero base still yields a non-zero, meaningful hint.
+        assert_eq!(retry_after_hint_ms(0, 4), 5);
+        // Deep backlogs clamp to the retry-backoff ceiling.
+        assert_eq!(retry_after_hint_ms(25, 100_000), MAX_RETRY_BACKOFF_MS);
+        assert_eq!(retry_after_hint_ms(u64::MAX, 7), MAX_RETRY_BACKOFF_MS);
     }
 }

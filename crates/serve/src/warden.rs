@@ -1,0 +1,586 @@
+//! zenesis-warden: supervision for process-isolated volume workers.
+//!
+//! The in-process worker pool survives panics (`catch_unwind`), but a
+//! hard death — `abort`, a segfault, the OOM killer, an operator's
+//! `kill -9` — unwinds nothing: it would take the whole service down
+//! and lose every in-flight batch. With `--process-workers`, batch
+//! volume jobs run in child worker processes instead (the serve binary
+//! re-executed with the hidden `--worker` argument, the job handed over
+//! on a pipe — see [`crate::worker`] for the line protocol), and this
+//! module supervises them:
+//!
+//! * **Heartbeats** — the child beats every quarter window with its
+//!   progress pulse. No message for one whole window ⇒ dead
+//!   (`reason: "heartbeat"`). Beats flowing but the pulse frozen for
+//!   [`STALL_WINDOWS`] windows ⇒ hung (`reason: "stall"`); a hung child
+//!   is killed, because a stuck slice never finishes on its own. EOF
+//!   on the pipe ⇒ the process died and is reaped for its exit status
+//!   (`reason: "exit ..."`).
+//! * **Restart with capped backoff** — a crashed worker is respawned
+//!   after [`RESTART_BACKOFF_BASE_MS`] shifted by the consecutive
+//!   no-progress crash count, capped at [`MAX_RESTART_BACKOFF_MS`].
+//!   Progress (journal growth) resets the backoff: a worker dying its
+//!   way through a poisonous *slice* still advances, while a worker
+//!   dying before it can journal anything backs off harder.
+//! * **Resume from the checkpoint journal** — respawned workers run the
+//!   spec with `resume: true` forced on, so the existing CRC journal
+//!   replays and the recovered volume is bit-identical to an
+//!   uninterrupted run. The supervisor holds a fingerprint-bound
+//!   [`Lease`] on the checkpoint directory across restarts, so two
+//!   supervisors can never double-resume one journal.
+//! * **Poison circuit breaker** — a spec whose workers crash
+//!   [`POISON_THRESHOLD`] consecutive times *without journal growth* is
+//!   quarantined by fingerprint: the job returns a structured `error`,
+//!   and later submissions of the same spec are refused immediately
+//!   instead of crash-looping fresh workers.
+//!
+//! Everything is observable: `warden.{spawn,crash,restart,resume,
+//! poison}` counters and events, the `warden.recovery.lat` histogram
+//! (crash detected → successor's first sign of life), and the
+//! `serve.warden.recovering` gauge that `/readyz` folds into its
+//! readiness reasons. `busy`/`ok` wire semantics are untouched — a
+//! supervised job answers exactly like an in-process one, only later.
+
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use zenesis_core::checkpoint::{journal_len, Lease, LeaseError};
+use zenesis_core::job::{JobResult, JobSpec};
+use zenesis_obs::events::{self, Event};
+use zenesis_par::CancelToken;
+
+use crate::worker::{job_line, parse_worker_line, WorkerMsg};
+
+/// Consecutive worker crashes without journal growth before the spec's
+/// fingerprint is quarantined. Crashes *with* progress never trip the
+/// breaker: a job inching through a crashy stretch still completes.
+pub const POISON_THRESHOLD: u32 = 3;
+
+/// First restart delay; shifts left per consecutive no-progress crash.
+const RESTART_BACKOFF_BASE_MS: u64 = 50;
+
+/// Ceiling on one restart delay.
+const MAX_RESTART_BACKOFF_MS: u64 = 2_000;
+
+/// Heartbeat windows the progress pulse may stay frozen before a
+/// beating worker is declared hung. Startup (model build, volume
+/// decode) runs before the first pulse tick, so the grace must cover it
+/// — size `heartbeat_ms` so this many windows exceed the worst-case
+/// gap between slices.
+const STALL_WINDOWS: u32 = 4;
+
+/// How one worker generation ended.
+enum ChildOutcome {
+    /// The worker delivered a result (any status) and exited.
+    Completed(JobResult),
+    /// The worker process could not be started at all.
+    SpawnFailed(std::io::Error),
+    /// The job deadline passed and the worker did not report its own
+    /// timeout within a grace window; it was killed.
+    DeadlineExceeded,
+    /// The worker died (or was killed as dead/hung) without a result.
+    Crashed { pid: u32, reason: String },
+}
+
+/// What [`Warden::supervise`] hands back to the serve worker loop.
+pub struct Supervised {
+    /// The job's result, exactly as an in-process run would shape it.
+    pub result: JobResult,
+    /// Worker generations spawned (0 when quarantine or a lease refusal
+    /// answered before any spawn).
+    pub attempts: u32,
+}
+
+/// Only batch volume jobs get a process of their own: they are the
+/// long-running, checkpointable work worth a fork, and the checkpoint
+/// journal is what makes their crash recovery exact. Interactive and
+/// evaluate jobs stay in-process.
+pub fn eligible(spec: &JobSpec) -> bool {
+    matches!(spec, JobSpec::Batch { .. })
+}
+
+/// FNV-1a over the spec's canonical JSON: the identity that binds
+/// checkpoint leases and keys the poison registry. Serde emits struct
+/// fields in declaration order, so equal specs always fingerprint
+/// equally.
+pub fn spec_fingerprint(spec: &JobSpec) -> u64 {
+    let json = serde_json::to_string(spec).expect("job specs serialize");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in json.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn checkpoint_dir(spec: &JobSpec) -> Option<PathBuf> {
+    match spec {
+        JobSpec::Batch { checkpoint_dir, .. } => checkpoint_dir.as_deref().map(PathBuf::from),
+        _ => None,
+    }
+}
+
+/// Force `resume: true` for a respawn: whatever the original request
+/// said, the successor must replay the journal its predecessor left,
+/// not truncate it.
+fn force_resume(spec: &mut JobSpec) {
+    if let JobSpec::Batch { resume, .. } = spec {
+        *resume = true;
+    }
+}
+
+fn restart_backoff_ms(consecutive_no_progress: u32) -> u64 {
+    RESTART_BACKOFF_BASE_MS
+        .saturating_mul(1u64 << consecutive_no_progress.min(10))
+        .min(MAX_RESTART_BACKOFF_MS)
+}
+
+/// Tracks one supervised job's crash-recovery state: when the last
+/// crash was detected (for `warden.recovery.lat`) and whether the job
+/// currently counts in the `recovering` gauge.
+struct Recovery {
+    crashed_at: Option<Instant>,
+    active: bool,
+}
+
+/// The process-worker supervisor. One per [`crate::Server`], shared by
+/// all worker threads; each supervised job occupies the worker thread
+/// that popped it, so concurrency stays bounded by `--workers`.
+pub struct Warden {
+    exe: PathBuf,
+    heartbeat_ms: u64,
+    recovering: AtomicUsize,
+    poisoned: Mutex<HashSet<u64>>,
+}
+
+impl Warden {
+    /// Build a supervisor spawning `worker_exe` (default: the current
+    /// executable) with a `heartbeat_ms` supervision window.
+    pub fn new(heartbeat_ms: u64, worker_exe: Option<&str>) -> std::io::Result<Warden> {
+        let exe = match worker_exe {
+            Some(path) => PathBuf::from(path),
+            None => std::env::current_exe()?,
+        };
+        Ok(Warden {
+            exe,
+            heartbeat_ms: heartbeat_ms.max(20),
+            recovering: AtomicUsize::new(0),
+            poisoned: Mutex::new(HashSet::new()),
+        })
+    }
+
+    /// Supervised jobs currently between a worker crash and the
+    /// successor's first sign of life.
+    pub fn recovering(&self) -> usize {
+        self.recovering.load(Ordering::Relaxed)
+    }
+
+    /// Whether `spec`'s fingerprint has been quarantined by the poison
+    /// breaker.
+    pub fn is_poisoned(&self, spec: &JobSpec) -> bool {
+        self.poisoned.lock().contains(&spec_fingerprint(spec))
+    }
+
+    #[cfg(test)]
+    pub(crate) fn test_set_recovering(&self, n: usize) {
+        self.recovering.store(n, Ordering::Relaxed);
+    }
+
+    /// Run `spec` under supervision: spawn a worker child, restart it
+    /// across crashes (resuming from the checkpoint journal), and
+    /// return the final result. Blocks the calling worker thread, just
+    /// as running the job in-process would.
+    pub fn supervise(&self, id: u64, spec: &JobSpec, cancel: &CancelToken) -> Supervised {
+        let fingerprint = spec_fingerprint(spec);
+        if self.poisoned.lock().contains(&fingerprint) {
+            return Supervised {
+                result: JobResult::Error {
+                    message: format!(
+                        "job quarantined: spec {fingerprint:016x} previously crashed \
+                         {POISON_THRESHOLD} consecutive workers without progress"
+                    ),
+                },
+                attempts: 0,
+            };
+        }
+        let ckpt = checkpoint_dir(spec);
+        // The lease lives in the supervisor for the whole job — across
+        // every restart — so no other process can resume this journal
+        // while its worker is being recovered.
+        let _lease = match ckpt.as_deref().map(|dir| Lease::acquire(dir, fingerprint)) {
+            Some(Err(LeaseError::Held { pid })) => {
+                return Supervised {
+                    result: JobResult::Error {
+                        message: format!(
+                            "checkpoint dir is leased by live process {pid}; \
+                             refusing to double-resume"
+                        ),
+                    },
+                    attempts: 0,
+                };
+            }
+            Some(Err(LeaseError::Io(e))) => {
+                return Supervised {
+                    result: JobResult::Error {
+                        message: format!("cannot lease checkpoint dir: {e}"),
+                    },
+                    attempts: 0,
+                };
+            }
+            Some(Ok(lease)) => Some(lease),
+            None => None,
+        };
+        let journal_bytes = || ckpt.as_deref().map(journal_len).unwrap_or(0);
+        let mut recovery = Recovery {
+            crashed_at: None,
+            active: false,
+        };
+        let mut spec = spec.clone();
+        let mut attempts = 0u32;
+        let mut no_progress_crashes = 0u32;
+        loop {
+            attempts += 1;
+            let bytes_before = journal_bytes();
+            let outcome = self.run_one(id, &spec, cancel, attempts, &mut recovery, &journal_bytes);
+            match outcome {
+                ChildOutcome::Completed(result) => {
+                    self.leave_recovery(&mut recovery);
+                    return Supervised { result, attempts };
+                }
+                ChildOutcome::SpawnFailed(e) => {
+                    self.leave_recovery(&mut recovery);
+                    return Supervised {
+                        result: JobResult::Error {
+                            message: format!(
+                                "cannot spawn worker process {}: {e}",
+                                self.exe.display()
+                            ),
+                        },
+                        attempts,
+                    };
+                }
+                ChildOutcome::DeadlineExceeded => {
+                    self.leave_recovery(&mut recovery);
+                    return Supervised {
+                        result: JobResult::Timeout {
+                            message: "job deadline exceeded; worker process killed".into(),
+                            completed: 0,
+                            total: 0,
+                        },
+                        attempts,
+                    };
+                }
+                ChildOutcome::Crashed { pid, reason } => {
+                    if zenesis_obs::enabled() {
+                        zenesis_obs::counter("warden.crash").inc();
+                        events::emit(Event::WardenCrash {
+                            id,
+                            pid,
+                            reason: reason.clone(),
+                        });
+                    }
+                    self.enter_recovery(&mut recovery);
+                    // Journal growth is the progress signal: the dead
+                    // worker checkpointed something, so its successor
+                    // starts further along than it did.
+                    if journal_bytes() > bytes_before {
+                        no_progress_crashes = 0;
+                    } else {
+                        no_progress_crashes += 1;
+                    }
+                    if no_progress_crashes >= POISON_THRESHOLD {
+                        self.poisoned.lock().insert(fingerprint);
+                        if zenesis_obs::enabled() {
+                            zenesis_obs::counter("warden.poison").inc();
+                            events::emit(Event::WardenPoison {
+                                id,
+                                fingerprint: format!("{fingerprint:016x}"),
+                                crashes: no_progress_crashes,
+                            });
+                        }
+                        self.leave_recovery(&mut recovery);
+                        return Supervised {
+                            result: JobResult::Error {
+                                message: format!(
+                                    "job quarantined: {no_progress_crashes} consecutive worker \
+                                     crashes without progress (last: {reason}); \
+                                     spec {fingerprint:016x} will be refused until restart"
+                                ),
+                            },
+                            attempts,
+                        };
+                    }
+                    let delay_ms = restart_backoff_ms(no_progress_crashes);
+                    if zenesis_obs::enabled() {
+                        zenesis_obs::counter("warden.restart").inc();
+                        events::emit(Event::WardenRestart {
+                            id,
+                            attempt: attempts + 1,
+                            delay_ms,
+                        });
+                    }
+                    let mut delay = Duration::from_millis(delay_ms);
+                    if let Some(left) = cancel.remaining() {
+                        delay = delay.min(left);
+                    }
+                    std::thread::sleep(delay);
+                    if cancel.is_cancelled() {
+                        self.leave_recovery(&mut recovery);
+                        return Supervised {
+                            result: JobResult::Timeout {
+                                message: "job deadline exceeded during worker crash recovery"
+                                    .into(),
+                                completed: 0,
+                                total: 0,
+                            },
+                            attempts,
+                        };
+                    }
+                    force_resume(&mut spec);
+                }
+            }
+        }
+    }
+
+    /// Spawn and supervise one worker generation to its outcome.
+    fn run_one(
+        &self,
+        id: u64,
+        spec: &JobSpec,
+        cancel: &CancelToken,
+        attempt: u32,
+        recovery: &mut Recovery,
+        journal_bytes: &impl Fn() -> u64,
+    ) -> ChildOutcome {
+        let mut child = match Command::new(&self.exe)
+            .arg("--worker")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+        {
+            Ok(child) => child,
+            Err(e) => return ChildOutcome::SpawnFailed(e),
+        };
+        let pid = child.id();
+        if zenesis_obs::enabled() {
+            zenesis_obs::counter("warden.spawn").inc();
+            events::emit(Event::WardenSpawn { id, pid, attempt });
+        }
+        // Hand the job over and close the pipe; the worker reads
+        // exactly one line. Queue wait already ran down the deadline in
+        // the parent, so the child gets only the remaining budget. A
+        // write failure means the child is already dead — supervision
+        // below will see EOF and classify it.
+        let trace = zenesis_obs::current_trace().map(|t| t.as_u64()).unwrap_or(0);
+        let line = job_line(
+            spec,
+            cancel.remaining().map(|d| d.as_millis() as u64),
+            trace,
+            self.heartbeat_ms,
+        );
+        if let Some(mut stdin) = child.stdin.take() {
+            let _ = stdin.write_all(line.as_bytes());
+        }
+        let stdout = child.stdout.take().expect("piped worker stdout");
+        let (tx, rx) = mpsc::channel();
+        let reader = std::thread::Builder::new()
+            .name("warden-reader".into())
+            .spawn(move || {
+                for line in BufReader::new(stdout).lines() {
+                    let Ok(line) = line else { break };
+                    if tx.send(parse_worker_line(&line)).is_err() {
+                        break;
+                    }
+                }
+                // Dropping `tx` turns EOF into a disconnect the
+                // supervision loop can see.
+            })
+            .expect("spawn warden reader thread");
+        let window = Duration::from_millis(self.heartbeat_ms);
+        let mut last_pulse: Option<u64> = None;
+        let mut pulse_changed = Instant::now();
+        let mut cancelled_at: Option<Instant> = None;
+        let outcome = loop {
+            // Deadline backstop: the child owns its deadline and
+            // normally reports its own `timeout`; if it cannot manage
+            // even that within one window of expiry, kill it.
+            if cancel.is_cancelled() {
+                let at = *cancelled_at.get_or_insert_with(Instant::now);
+                if at.elapsed() >= window {
+                    kill_and_reap(&mut child);
+                    break ChildOutcome::DeadlineExceeded;
+                }
+            }
+            match rx.recv_timeout(window) {
+                Ok(WorkerMsg::Result(result)) => {
+                    let _ = child.wait();
+                    self.note_alive(id, recovery, journal_bytes);
+                    break ChildOutcome::Completed(result);
+                }
+                Ok(WorkerMsg::Beat(pulse)) => {
+                    self.note_alive(id, recovery, journal_bytes);
+                    if last_pulse != Some(pulse) {
+                        last_pulse = Some(pulse);
+                        pulse_changed = Instant::now();
+                    } else if pulse_changed.elapsed() >= window * STALL_WINDOWS {
+                        // Beating but frozen: the heartbeat thread is
+                        // alive while the compute threads are stuck.
+                        kill_and_reap(&mut child);
+                        break ChildOutcome::Crashed {
+                            pid,
+                            reason: "stall".into(),
+                        };
+                    }
+                }
+                Ok(WorkerMsg::Noise) => {}
+                Err(RecvTimeoutError::Timeout) => {
+                    // Not even a beat: the process is dead or dying
+                    // (and might linger as a zombie without the kill).
+                    kill_and_reap(&mut child);
+                    break ChildOutcome::Crashed {
+                        pid,
+                        reason: "heartbeat".into(),
+                    };
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // EOF without a result: the process died. Reap it
+                    // for the status the crash event reports.
+                    let reason = match child.wait() {
+                        Ok(status) => format!("exit {status}"),
+                        Err(_) => "exit unknown".into(),
+                    };
+                    break ChildOutcome::Crashed { pid, reason };
+                }
+            }
+        };
+        let _ = reader.join();
+        outcome
+    }
+
+    /// First sign of life from a worker generation: if the job was in
+    /// crash recovery, the recovery is over — record its latency and
+    /// the resumed journal size, and take the job out of the gauge.
+    fn note_alive(&self, id: u64, recovery: &mut Recovery, journal_bytes: &impl Fn() -> u64) {
+        if let Some(crashed_at) = recovery.crashed_at.take() {
+            if zenesis_obs::enabled() {
+                zenesis_obs::counter("warden.resume").inc();
+                zenesis_obs::record_ms(
+                    "warden.recovery.lat",
+                    crashed_at.elapsed().as_secs_f64() * 1e3,
+                );
+                events::emit(Event::WardenResume {
+                    id,
+                    journal_bytes: journal_bytes(),
+                });
+            }
+            self.leave_recovery_gauge(recovery);
+        }
+    }
+
+    fn enter_recovery(&self, recovery: &mut Recovery) {
+        recovery.crashed_at = Some(Instant::now());
+        if !recovery.active {
+            recovery.active = true;
+            let n = self.recovering.fetch_add(1, Ordering::Relaxed) + 1;
+            zenesis_obs::gauge("serve.warden.recovering").set(n as i64);
+        }
+    }
+
+    /// Terminal path: drop any recovery state, successful or not.
+    fn leave_recovery(&self, recovery: &mut Recovery) {
+        recovery.crashed_at = None;
+        self.leave_recovery_gauge(recovery);
+    }
+
+    fn leave_recovery_gauge(&self, recovery: &mut Recovery) {
+        if recovery.active {
+            recovery.active = false;
+            let n = self.recovering.fetch_sub(1, Ordering::Relaxed) - 1;
+            zenesis_obs::gauge("serve.warden.recovering").set(n as i64);
+        }
+    }
+}
+
+/// SIGKILL the child and reap it — `Child::kill` is a no-op if it
+/// already exited, and the `wait` prevents a zombie either way.
+fn kill_and_reap(child: &mut Child) {
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch_spec(raw: &str) -> JobSpec {
+        serde_json::from_str(raw).expect("spec parses")
+    }
+
+    const SPEC: &str = r#"{"mode": "batch",
+        "input": {"source": "phantom_volume", "kind": "amorphous", "seed": 3, "depth": 4},
+        "prompt": "bright particles"}"#;
+
+    #[test]
+    fn fingerprints_are_stable_and_distinguish_specs() {
+        let a = batch_spec(SPEC);
+        assert_eq!(spec_fingerprint(&a), spec_fingerprint(&a.clone()));
+        let b = batch_spec(&SPEC.replace("bright particles", "dark pores"));
+        assert_ne!(spec_fingerprint(&a), spec_fingerprint(&b));
+    }
+
+    #[test]
+    fn only_batch_jobs_are_eligible_for_process_isolation() {
+        assert!(eligible(&batch_spec(SPEC)));
+        let interactive = batch_spec(
+            r#"{"mode": "interactive",
+                "input": {"source": "phantom_slice", "kind": "amorphous", "seed": 3},
+                "prompt": "bright particles"}"#,
+        );
+        assert!(!eligible(&interactive));
+    }
+
+    #[test]
+    fn respawned_specs_always_resume() {
+        let mut spec = batch_spec(&format!(
+            r#"{{"mode": "batch",
+                "input": {{"source": "phantom_volume", "kind": "amorphous", "seed": 3, "depth": 4}},
+                "prompt": "bright particles", "checkpoint_dir": "/tmp/x", "resume": false}}"#
+        ));
+        force_resume(&mut spec);
+        match spec {
+            JobSpec::Batch { resume, .. } => assert!(resume),
+            other => panic!("unexpected spec {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restart_backoff_doubles_per_no_progress_crash_and_caps() {
+        assert_eq!(restart_backoff_ms(0), RESTART_BACKOFF_BASE_MS);
+        assert_eq!(restart_backoff_ms(1), RESTART_BACKOFF_BASE_MS * 2);
+        assert_eq!(restart_backoff_ms(2), RESTART_BACKOFF_BASE_MS * 4);
+        for crashes in [6, 10, 100, u32::MAX] {
+            assert_eq!(restart_backoff_ms(crashes), MAX_RESTART_BACKOFF_MS);
+        }
+    }
+
+    #[test]
+    fn spawn_failure_is_a_structured_error_not_a_crash_loop() {
+        let warden = Warden::new(100, Some("/nonexistent/zenesis-worker-binary")).unwrap();
+        let cancel = CancelToken::new();
+        let sup = warden.supervise(1, &batch_spec(SPEC), &cancel);
+        assert_eq!(sup.attempts, 1);
+        match sup.result {
+            JobResult::Error { message } => {
+                assert!(message.contains("cannot spawn worker process"), "{message}");
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+        assert_eq!(warden.recovering(), 0);
+    }
+}

@@ -69,6 +69,9 @@ fn config(workers: usize, queue_cap: usize, flight_dir: Option<String>) -> Serve
         max_retries: 0,
         retry_base_ms: 1,
         flight_dir,
+        process_workers: false,
+        heartbeat_ms: 1000,
+        worker_exe: None,
     }
 }
 
